@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTable(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-table", "table6", "-unit", "250", "-q"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Table6", "d=100", "d=500", "c-rep-l", "tuples"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunMarkdownToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.md")
+	var out strings.Builder
+	err := run([]string{"-table", "table6", "-unit", "250", "-q", "-md", "-o", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "| d=100 |") {
+		t.Errorf("markdown file missing table rows:\n%s", data)
+	}
+	if string(data) != out.String() {
+		t.Error("file and stdout output differ")
+	}
+	// Markdown rows have consistent column counts.
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "| d=") {
+			if got := strings.Count(line, "|"); got != 7 { // 6 columns
+				t.Errorf("row %q has %d pipes", line, got)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "table99"}, &out); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,112 @@
+// Command datagen generates rectangle datasets in the repository's
+// text format (one "x,y,l,b" line per rectangle), reproducing the
+// paper's synthetic workloads (§7.8.2) and the synthetic stand-in for
+// the California road data.
+//
+// Usage:
+//
+//	datagen -kind synthetic -n 100000 -out r1.csv -seed 1
+//	datagen -kind synthetic -n 100000 -lmax 500 -bmax 500 -dist gaussian -out r2.csv
+//	datagen -kind roads -n 2092079 -out roads.csv
+//	datagen -kind roads -n 1000000 -sample 0.5 -enlarge 1.5 -out roads-half.csv
+//	datagen -stats -in roads.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mwsjoin/internal/dataset"
+	"mwsjoin/internal/geom"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		kind    = fs.String("kind", "synthetic", "dataset kind: synthetic | roads")
+		n       = fs.Int("n", 100_000, "number of rectangles")
+		out     = fs.String("out", "", "output file (default stdout)")
+		in      = fs.String("in", "", "with -stats: existing dataset to describe")
+		seed    = fs.Uint64("seed", 2013, "generator seed")
+		stats   = fs.Bool("stats", false, "print dataset statistics instead of generating")
+		sample  = fs.Float64("sample", 1, "keep each rectangle with this probability")
+		enlarge = fs.Float64("enlarge", 1, "enlarge every rectangle by this factor about its center")
+
+		dist = fs.String("dist", "uniform", "coordinate distribution: uniform | gaussian | clustered")
+		xmax = fs.Float64("xmax", 100_000, "x range upper bound (synthetic)")
+		ymax = fs.Float64("ymax", 100_000, "y range upper bound (synthetic)")
+		lmax = fs.Float64("lmax", 100, "maximum rectangle length (synthetic)")
+		bmax = fs.Float64("bmax", 100, "maximum rectangle breadth (synthetic)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *stats {
+		if *in == "" {
+			return fmt.Errorf("-stats requires -in <file>")
+		}
+		rects, err := dataset.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		printStats(dataset.Describe(rects))
+		return nil
+	}
+
+	var rects []geom.Rect
+	switch *kind {
+	case "synthetic":
+		d, err := dataset.ParseDistribution(*dist)
+		if err != nil {
+			return err
+		}
+		p := dataset.PaperDefaults(*n)
+		p.DX, p.DY = d, d
+		p.XMax, p.YMax = *xmax, *ymax
+		p.LMax, p.BMax = *lmax, *bmax
+		rects, err = dataset.Synthetic(p, *seed)
+		if err != nil {
+			return err
+		}
+	case "roads":
+		rects = dataset.CaliforniaRoads(dataset.DefaultCaliforniaRoads(*n), *seed)
+	default:
+		return fmt.Errorf("unknown -kind %q (want synthetic or roads)", *kind)
+	}
+
+	if *sample < 1 {
+		rects = dataset.Sample(rects, *sample, *seed+1)
+	}
+	if *enlarge != 1 {
+		rects = dataset.EnlargeAll(rects, *enlarge)
+	}
+
+	if *out == "" {
+		return dataset.Write(os.Stdout, rects)
+	}
+	if err := dataset.WriteFile(*out, rects); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d rectangles to %s\n", len(rects), *out)
+	return nil
+}
+
+func printStats(s dataset.Stats) {
+	fmt.Printf("rectangles:        %d\n", s.N)
+	fmt.Printf("length:            min %g  mean %.2f  max %g\n", s.MinL, s.MeanL, s.MaxL)
+	fmt.Printf("breadth:           min %g  mean %.2f  max %g\n", s.MinB, s.MeanB, s.MaxB)
+	fmt.Printf("area:              min %g  max %g\n", s.MinArea, s.MaxArea)
+	fmt.Printf("dims < 100:        %.2f%%\n", s.FracDimsUnder100*100)
+	fmt.Printf("dims < 1000:       %.2f%%\n", s.FracDimsUnder1000*100)
+	fmt.Printf("bounds:            %v\n", s.Bounds)
+	fmt.Printf("max diagonal:      %.2f\n", s.MaxDiagonal)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mwsjoin/internal/dataset"
+)
+
+func TestGenerateSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "s.csv")
+	err := run([]string{"-kind", "synthetic", "-n", "500", "-out", out, "-seed", "3",
+		"-xmax", "1000", "-ymax", "1000", "-lmax", "20", "-bmax", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects, err := dataset.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 500 {
+		t.Fatalf("got %d rects", len(rects))
+	}
+	for _, r := range rects {
+		if r.MaxX() > 1000 || r.L > 20 {
+			t.Fatalf("rect %v violates bounds", r)
+		}
+	}
+	// Determinism: same flags, same file.
+	out2 := filepath.Join(t.TempDir(), "s2.csv")
+	if err := run([]string{"-kind", "synthetic", "-n", "500", "-out", out2, "-seed", "3",
+		"-xmax", "1000", "-ymax", "1000", "-lmax", "20", "-bmax", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := dataset.ReadFile(out2)
+	if len(again) != len(rects) || again[0] != rects[0] || again[499] != rects[499] {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestGenerateRoadsWithSampleAndEnlarge(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "roads.csv")
+	if err := run([]string{"-kind", "roads", "-n", "2000", "-out", out,
+		"-sample", "0.5", "-enlarge", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	rects, err := dataset.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := float64(len(rects)) / 2000; f < 0.4 || f > 0.6 {
+		t.Errorf("sampled fraction = %.2f, want ≈0.5", f)
+	}
+	// Enlarged by 2: minimum dimension is 2 (generator minimum 1).
+	for _, r := range rects {
+		if r.L < 2 || r.B < 2 {
+			t.Fatalf("rect %v not enlarged", r)
+		}
+	}
+}
+
+func TestStatsMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.csv")
+	if err := run([]string{"-kind", "synthetic", "-n", "100", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stats", "-in", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "weird"},
+		{"-stats"},                     // missing -in
+		{"-stats", "-in", "/nope.csv"}, // missing file
+		{"-kind", "synthetic", "-dist", "zipf"},
+		{"-kind", "synthetic", "-n", "10", "-xmax", "0"},
+		{"-out", "/nonexistent-dir/x.csv"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) unexpectedly succeeded", args)
+		}
+	}
+}

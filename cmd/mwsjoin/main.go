@@ -1,0 +1,143 @@
+// Command mwsjoin evaluates a multi-way spatial join query over
+// rectangle dataset files on the simulated map-reduce cluster.
+//
+// Usage:
+//
+//	mwsjoin -query "R1 ov R2 and R2 ra(100) R3" \
+//	        -rel R1=r1.csv -rel R2=r2.csv -rel R3=r3.csv \
+//	        -method c-rep-l -reducers 64 -stats
+//
+// A self-join binds one file to several slots:
+//
+//	mwsjoin -query "a ov b and b ov c" -rel a=roads.csv -rel b=roads.csv -rel c=roads.csv
+//
+// Output is one tuple per line (the rectangle indices bound to each
+// slot); -stats adds the cost metrics of §7.8.3 on stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mwsjoin"
+)
+
+// relFlags collects repeated -rel slot=path flags.
+type relFlags map[string]string
+
+func (r relFlags) String() string { return fmt.Sprint(map[string]string(r)) }
+
+func (r relFlags) Set(v string) error {
+	slot, path, ok := strings.Cut(v, "=")
+	if !ok || slot == "" || path == "" {
+		return fmt.Errorf("want -rel <slot>=<file>, got %q", v)
+	}
+	if _, dup := r[slot]; dup {
+		return fmt.Errorf("slot %q bound twice", slot)
+	}
+	r[slot] = path
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mwsjoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mwsjoin", flag.ContinueOnError)
+	rels := relFlags{}
+	var (
+		queryText = fs.String("query", "", `query text, e.g. "R1 ov R2 and R2 ra(100) R3"`)
+		method    = fs.String("method", "c-rep-l", "join method: brute-force | 2-way-cascade | all-replicate | c-rep | c-rep-l")
+		reducers  = fs.Int("reducers", 64, "reducer count (perfect square)")
+		stats     = fs.Bool("stats", false, "print cost statistics to stderr")
+		quiet     = fs.Bool("quiet", false, "suppress tuple output (use with -stats)")
+		euclid    = fs.Bool("euclidean-limit", false, "use the paper's Euclidean C-Rep-L metric")
+		selfPairs = fs.Bool("allow-self-pairs", false, "allow one rectangle in several self-join slots")
+	)
+	fs.Var(rels, "rel", "slot binding <slot>=<file>; repeat once per slot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *queryText == "" {
+		return fmt.Errorf("-query is required")
+	}
+
+	q, err := mwsjoin.ParseQuery(*queryText)
+	if err != nil {
+		return err
+	}
+	m, err := mwsjoin.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+
+	// Bind files to slots; identical paths share one relation name so
+	// self-join distinctness applies.
+	bound := make([]mwsjoin.Relation, q.NumSlots())
+	loaded := map[string]mwsjoin.Relation{}
+	for i, slot := range q.Slots() {
+		path, ok := rels[slot]
+		if !ok {
+			return fmt.Errorf("no -rel binding for query slot %q", slot)
+		}
+		rel, ok := loaded[path]
+		if !ok {
+			rel, err = mwsjoin.ReadRelationFile(path, path)
+			if err != nil {
+				return err
+			}
+			loaded[path] = rel
+		}
+		bound[i] = rel
+	}
+
+	res, err := mwsjoin.Run(q, bound, m, &mwsjoin.Options{
+		Reducers:       *reducers,
+		EuclideanLimit: *euclid,
+		AllowSelfPairs: *selfPairs,
+	})
+	if err != nil {
+		return err
+	}
+
+	if !*quiet {
+		w := bufio.NewWriter(stdout)
+		for _, t := range res.Tuples {
+			for i, id := range t.IDs {
+				if i > 0 {
+					fmt.Fprint(w, "\t")
+				}
+				fmt.Fprint(w, id)
+			}
+			fmt.Fprintln(w)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Fprintf(stderr, "method:                  %v\n", s.Method)
+		fmt.Fprintf(stderr, "output tuples:           %d\n", s.OutputTuples)
+		fmt.Fprintf(stderr, "wall time:               %v\n", s.Wall)
+		fmt.Fprintf(stderr, "map-reduce rounds:       %d\n", len(s.Rounds))
+		fmt.Fprintf(stderr, "intermediate pairs:      %d\n", s.IntermediatePairs())
+		fmt.Fprintf(stderr, "rectangles replicated:   %d\n", s.RectanglesReplicated)
+		fmt.Fprintf(stderr, "rects after replication: %d\n", s.RectanglesAfterReplication)
+		fmt.Fprintf(stderr, "dfs bytes written:       %d\n", s.DFS.BytesWritten)
+		fmt.Fprintf(stderr, "dfs bytes read:          %d\n", s.DFS.BytesRead)
+		for i, r := range s.Rounds {
+			fmt.Fprintf(stderr, "round %d (%s): pairs=%d keys=%d skew=%.2f map=%v reduce=%v\n",
+				i+1, r.Job, r.IntermediatePairs, r.ReduceInputKeys, r.MaxReducerSkew(), r.MapWall, r.ReduceWall)
+		}
+	}
+	return nil
+}

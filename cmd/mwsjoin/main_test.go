@@ -1,0 +1,114 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mwsjoin"
+)
+
+// writeRects saves a tiny dataset and returns its path.
+func writeRects(t *testing.T, name string, rects []mwsjoin.Rect) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := mwsjoin.WriteRelationFile(path, rects); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	r1 := writeRects(t, "r1.csv", []mwsjoin.Rect{
+		{X: 0, Y: 10, L: 4, B: 4},
+		{X: 50, Y: 50, L: 2, B: 2},
+	})
+	r2 := writeRects(t, "r2.csv", []mwsjoin.Rect{
+		{X: 3, Y: 9, L: 4, B: 4},
+	})
+
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-query", "A ov B",
+		"-rel", "A=" + r1, "-rel", "B=" + r2,
+		"-method", "c-rep-l", "-reducers", "4", "-stats",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "0\t0" {
+		t.Errorf("tuples = %q, want %q", got, "0\t0")
+	}
+	if !strings.Contains(errOut.String(), "output tuples:           1") {
+		t.Errorf("stats output missing tuple count:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "round 1") {
+		t.Errorf("stats output missing round breakdown:\n%s", errOut.String())
+	}
+}
+
+func TestRunSelfJoinSharedFile(t *testing.T) {
+	roads := writeRects(t, "roads.csv", []mwsjoin.Rect{
+		{X: 0, Y: 10, L: 5, B: 5},
+		{X: 4, Y: 9, L: 5, B: 5},
+		{X: 8, Y: 8, L: 5, B: 5},
+	})
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-query", "a ov b and b ov c",
+		"-rel", "a=" + roads, "-rel", "b=" + roads, "-rel", "c=" + roads,
+		"-method", "brute-force", "-reducers", "4",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain of three overlapping roads: distinct-triple matches only.
+	lines := strings.Fields(strings.ReplaceAll(strings.TrimSpace(out.String()), "\t", ","))
+	want := map[string]bool{"0,1,2": true, "2,1,0": true}
+	if len(lines) != len(want) {
+		t.Fatalf("tuples = %v, want %v", lines, want)
+	}
+	for _, l := range lines {
+		if !want[l] {
+			t.Errorf("unexpected tuple %q", l)
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	r := writeRects(t, "r.csv", []mwsjoin.Rect{{X: 0, Y: 10, L: 4, B: 4}})
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-query", "A ov B", "-rel", "A=" + r, "-rel", "B=" + r,
+		"-quiet", "-stats", "-reducers", "4", "-allow-self-pairs",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "" {
+		t.Errorf("quiet mode printed tuples: %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "output tuples:           1") {
+		t.Errorf("stats missing:\n%s", errOut.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	r := writeRects(t, "r.csv", []mwsjoin.Rect{{X: 0, Y: 10, L: 4, B: 4}})
+	cases := [][]string{
+		{},                                     // missing query
+		{"-query", "A ov"},                     // bad query
+		{"-query", "A ov B", "-rel", "A=" + r}, // unbound slot B
+		{"-query", "A ov B", "-rel", "A=" + r, "-rel", "B=/nope/missing.csv"},
+		{"-query", "A ov B", "-rel", "A=" + r, "-rel", "B=" + r, "-method", "warp"},
+		{"-query", "A ov B", "-rel", "A=" + r, "-rel", "B=" + r, "-reducers", "7"},
+		{"-query", "A ov B", "-rel", "bogus"},              // malformed binding
+		{"-query", "A ov B", "-rel", "A=x", "-rel", "A=y"}, // duplicate binding
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) unexpectedly succeeded", args)
+		}
+	}
+}

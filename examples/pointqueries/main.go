@@ -1,0 +1,68 @@
+// Pointqueries demonstrates the spatial query classes the paper lists
+// as future work (§10), running on the same simulated map-reduce
+// cluster as the multi-way joins: a containment query (which points
+// fall inside which regions) and a k-nearest-neighbour join.
+//
+//	go run ./examples/pointqueries
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"mwsjoin"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(2013, 1))
+
+	// Facilities (points) and service regions (rectangles).
+	var facilities mwsjoin.PointSet
+	facilities.Name = "facility"
+	for i := 0; i < 5000; i++ {
+		facilities.Pts = append(facilities.Pts, mwsjoin.Point{
+			X: rng.Float64() * 10_000,
+			Y: rng.Float64() * 10_000,
+		})
+	}
+	var regionRects []mwsjoin.Rect
+	for i := 0; i < 800; i++ {
+		regionRects = append(regionRects, mwsjoin.Rect{
+			X: rng.Float64() * 10_000,
+			Y: rng.Float64() * 10_000,
+			L: 50 + rng.Float64()*400,
+			B: 50 + rng.Float64()*400,
+		})
+	}
+	regions := mwsjoin.NewRelation("region", regionRects)
+
+	pairs, err := mwsjoin.Containment(facilities, regions, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("containment: %d facilities × %d regions → %d (facility, region) pairs\n",
+		len(facilities.Pts), len(regions.Items), len(pairs))
+
+	// kNN join: for every house, the 3 nearest facilities.
+	var houses mwsjoin.PointSet
+	houses.Name = "house"
+	for i := 0; i < 2000; i++ {
+		houses.Pts = append(houses.Pts, mwsjoin.Point{
+			X: rng.Float64() * 10_000,
+			Y: rng.Float64() * 10_000,
+		})
+	}
+	results, err := mwsjoin.KNNJoin(houses, facilities, 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knn join:    %d houses × %d facilities, k=3 → %d result rows\n",
+		len(houses.Pts), len(facilities.Pts), len(results))
+	r := results[0]
+	fmt.Printf("  e.g. house %d: nearest facilities", r.ID)
+	for _, n := range r.Neighbors {
+		fmt.Printf(" #%d (%.1f away)", n.ID, n.Dist)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module mwsjoin
+
+go 1.22

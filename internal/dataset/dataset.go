@@ -1,0 +1,263 @@
+// Package dataset generates and serialises the workloads of the
+// paper's evaluation (§7.8.2):
+//
+//   - Synthetic rectangle sets parameterised exactly like the paper's
+//     generator script: number of rectangles nI, distributions of the
+//     start-point coordinates (dX, dY) and of the dimensions (dL, dB),
+//     the coordinate ranges, and the dimension ranges;
+//   - a synthetic stand-in for the Census 2000 TIGER/Line California
+//     road MBBs (see CaliforniaRoads), since the original shapefiles
+//     are not redistributable here.
+//
+// All generation is deterministic given the seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/spatial"
+)
+
+// Distribution names a random distribution for coordinates or
+// dimensions, matching the dX/dY/dL/dB parameters of §7.8.2.
+type Distribution uint8
+
+const (
+	// Uniform draws uniformly over the configured range.
+	Uniform Distribution = iota
+	// Gaussian draws from a normal centred mid-range with σ = range/6,
+	// clamped to the range.
+	Gaussian
+	// Clustered draws around a small number of random cluster centres
+	// (a skewed workload the paper's uniform tables do not cover, used
+	// by the ablation benches).
+	Clustered
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Clustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("distribution(%d)", uint8(d))
+	}
+}
+
+// ParseDistribution resolves a distribution name.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "gaussian":
+		return Gaussian, nil
+	case "clustered":
+		return Clustered, nil
+	}
+	return 0, fmt.Errorf("dataset: unknown distribution %q", s)
+}
+
+// SyntheticParams mirrors the parameters of the paper's data-generation
+// script (§7.8.2).
+type SyntheticParams struct {
+	N            int          // nI: number of rectangles
+	DX, DY       Distribution // start-point coordinate distributions
+	DL, DB       Distribution // length/breadth distributions
+	XMin, XMax   float64      // x range of the space
+	YMin, YMax   float64      // y range of the space
+	LMin, LMax   float64      // length range
+	BMin, BMax   float64      // breadth range
+	Clusters     int          // cluster count for Clustered (default 16)
+	ClusterSigma float64      // cluster spread fraction of range (default 0.02)
+}
+
+// PaperDefaults returns the parameter set used throughout the paper's
+// synthetic tables: uniform everything, 100K×100K space, dimensions in
+// (0, 100].
+func PaperDefaults(n int) SyntheticParams {
+	return SyntheticParams{
+		N:    n,
+		XMin: 0, XMax: 100_000,
+		YMin: 0, YMax: 100_000,
+		LMin: 0, LMax: 100,
+		BMin: 0, BMax: 100,
+	}
+}
+
+// Validate checks range sanity.
+func (p *SyntheticParams) Validate() error {
+	if p.N < 0 {
+		return fmt.Errorf("dataset: negative N %d", p.N)
+	}
+	if p.XMax <= p.XMin || p.YMax <= p.YMin {
+		return fmt.Errorf("dataset: empty coordinate range [%g,%g]×[%g,%g]", p.XMin, p.XMax, p.YMin, p.YMax)
+	}
+	if p.LMax < p.LMin || p.BMax < p.BMin || p.LMin < 0 || p.BMin < 0 {
+		return fmt.Errorf("dataset: invalid dimension ranges [%g,%g]×[%g,%g]", p.LMin, p.LMax, p.BMin, p.BMax)
+	}
+	return nil
+}
+
+// Synthetic generates a rectangle set per the parameters,
+// deterministically from the seed. Rectangles are placed so that they
+// lie fully inside the configured space (start points are drawn in the
+// shrunk range, as the paper's "all rectangles lie within this space"
+// requires).
+func Synthetic(p SyntheticParams, seed uint64) ([]geom.Rect, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5a7a5e7))
+	clusters := p.Clusters
+	if clusters <= 0 {
+		clusters = 16
+	}
+	sigma := p.ClusterSigma
+	if sigma <= 0 {
+		sigma = 0.02
+	}
+	cx := make([]float64, clusters)
+	cy := make([]float64, clusters)
+	for i := range cx {
+		cx[i] = p.XMin + rng.Float64()*(p.XMax-p.XMin)
+		cy[i] = p.YMin + rng.Float64()*(p.YMax-p.YMin)
+	}
+
+	draw := func(d Distribution, lo, hi, center float64) float64 {
+		if hi <= lo {
+			return lo
+		}
+		switch d {
+		case Gaussian:
+			mid := (lo + hi) / 2
+			v := mid + rng.NormFloat64()*(hi-lo)/6
+			return clamp(v, lo, hi)
+		case Clustered:
+			v := center + rng.NormFloat64()*(hi-lo)*sigma
+			return clamp(v, lo, hi)
+		default:
+			return lo + rng.Float64()*(hi-lo)
+		}
+	}
+
+	rects := make([]geom.Rect, p.N)
+	for i := range rects {
+		// One cluster per rectangle, so clustered x and y coordinates
+		// come from the same 2D centre.
+		ci := rng.IntN(clusters)
+		l := draw(p.DL, p.LMin, p.LMax, 0)
+		b := draw(p.DB, p.BMin, p.BMax, 0)
+		// Start point: top-left vertex. x in [XMin, XMax-l]; y must
+		// leave room below: y in [YMin+b, YMax].
+		x := draw(p.DX, p.XMin, math.Max(p.XMin, p.XMax-l), cx[ci])
+		y := draw(p.DY, math.Min(p.YMax, p.YMin+b), p.YMax, cy[ci])
+		rects[i] = geom.Rect{X: x, Y: y, L: l, B: b}
+	}
+	return rects, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SyntheticRelation wraps Synthetic into a named spatial.Relation.
+func SyntheticRelation(name string, p SyntheticParams, seed uint64) (spatial.Relation, error) {
+	rects, err := Synthetic(p, seed)
+	if err != nil {
+		return spatial.Relation{}, err
+	}
+	return spatial.NewRelation(name, rects), nil
+}
+
+// Stats summarises a rectangle set the way §7.8.2 describes the
+// California road data.
+type Stats struct {
+	N                 int
+	MinL, MaxL, MeanL float64
+	MinB, MaxB, MeanB float64
+	MinArea, MaxArea  float64
+	FracDimsUnder100  float64 // fraction with both dimensions < 100
+	FracDimsUnder1000 float64
+	Bounds            geom.Rect
+	MaxDiagonal       float64
+}
+
+// Describe computes summary statistics of a rectangle set.
+func Describe(rects []geom.Rect) Stats {
+	if len(rects) == 0 {
+		return Stats{}
+	}
+	s := Stats{
+		N:       len(rects),
+		MinL:    math.Inf(1),
+		MinB:    math.Inf(1),
+		MinArea: math.Inf(1),
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	under100, under1000 := 0, 0
+	for _, r := range rects {
+		s.MinL = math.Min(s.MinL, r.L)
+		s.MaxL = math.Max(s.MaxL, r.L)
+		s.MeanL += r.L
+		s.MinB = math.Min(s.MinB, r.B)
+		s.MaxB = math.Max(s.MaxB, r.B)
+		s.MeanB += r.B
+		s.MinArea = math.Min(s.MinArea, r.Area())
+		s.MaxArea = math.Max(s.MaxArea, r.Area())
+		s.MaxDiagonal = math.Max(s.MaxDiagonal, r.Diagonal())
+		if r.L < 100 && r.B < 100 {
+			under100++
+		}
+		if r.L < 1000 && r.B < 1000 {
+			under1000++
+		}
+		minX = math.Min(minX, r.MinX())
+		minY = math.Min(minY, r.MinY())
+		maxX = math.Max(maxX, r.MaxX())
+		maxY = math.Max(maxY, r.MaxY())
+	}
+	n := float64(len(rects))
+	s.MeanL /= n
+	s.MeanB /= n
+	s.FracDimsUnder100 = float64(under100) / n
+	s.FracDimsUnder1000 = float64(under1000) / n
+	s.Bounds = geom.RectFromCorners(geom.Point{X: minX, Y: minY}, geom.Point{X: maxX, Y: maxY})
+	return s
+}
+
+// Sample retains each rectangle independently with probability p,
+// deterministically from the seed — the paper samples the road data
+// with probability 0.5 for the range experiments (§8.1).
+func Sample(rects []geom.Rect, p float64, seed uint64) []geom.Rect {
+	rng := rand.New(rand.NewPCG(seed, 0xba5eba11))
+	var out []geom.Rect
+	for _, r := range rects {
+		if rng.Float64() < p {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// EnlargeAll returns a copy of rects with every rectangle enlarged by
+// factor k about its center (§7.8.6's densified road variants).
+func EnlargeAll(rects []geom.Rect, k float64) []geom.Rect {
+	out := make([]geom.Rect, len(rects))
+	for i, r := range rects {
+		out[i] = r.EnlargeFactor(k)
+	}
+	return out
+}

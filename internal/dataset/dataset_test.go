@@ -1,0 +1,267 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mwsjoin/internal/geom"
+)
+
+func TestSyntheticPaperDefaults(t *testing.T) {
+	p := PaperDefaults(5000)
+	rects, err := Synthetic(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 5000 {
+		t.Fatalf("got %d rects", len(rects))
+	}
+	for i, r := range rects {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("rect %d invalid: %v", i, err)
+		}
+		if r.MinX() < 0 || r.MaxX() > 100_000 || r.MinY() < 0 || r.MaxY() > 100_000 {
+			t.Fatalf("rect %d %v escapes the space", i, r)
+		}
+		if r.L > 100 || r.B > 100 {
+			t.Fatalf("rect %d %v exceeds dimension bounds", i, r)
+		}
+	}
+	// Uniform: means near mid-range.
+	st := Describe(rects)
+	if math.Abs(st.MeanL-50) > 5 || math.Abs(st.MeanB-50) > 5 {
+		t.Errorf("uniform dims mean = %.1f × %.1f, want ≈50 × 50", st.MeanL, st.MeanB)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	p := PaperDefaults(200)
+	a, _ := Synthetic(p, 7)
+	b, _ := Synthetic(p, 7)
+	c, _ := Synthetic(p, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must reproduce the dataset")
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds must differ")
+	}
+}
+
+func TestSyntheticDistributions(t *testing.T) {
+	base := PaperDefaults(4000)
+
+	gauss := base
+	gauss.DX, gauss.DY = Gaussian, Gaussian
+	rects, err := Synthetic(gauss, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Describe(rects)
+	center := st.Bounds.Center()
+	if math.Abs(center.X-50_000) > 3000 || math.Abs(center.Y-50_000) > 3000 {
+		t.Errorf("gaussian center = %v, want ≈(50000, 50000)", center)
+	}
+	// Gaussian start points concentrate: sample stddev well below
+	// uniform's ~28.9K.
+	var sx float64
+	for _, r := range rects {
+		sx += (r.X - 50_000) * (r.X - 50_000)
+	}
+	if sd := math.Sqrt(sx / float64(len(rects))); sd > 25_000 {
+		t.Errorf("gaussian x stddev = %.0f, want well under uniform's 28.9K", sd)
+	}
+
+	clustered := base
+	clustered.DX, clustered.DY = Clustered, Clustered
+	clustered.Clusters = 4
+	rects, err = Synthetic(clustered, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 4 tight clusters, many rectangles share nearly identical
+	// start coordinates: count distinct 1K-buckets.
+	buckets := map[[2]int]bool{}
+	for _, r := range rects {
+		buckets[[2]int{int(r.X / 1000), int(r.Y / 1000)}] = true
+	}
+	// 4 clusters at σ = 2000 cover ≈600 of the 10,000 1K-buckets;
+	// uniform placement of 4000 rects would touch ≈3300.
+	if len(buckets) > 800 {
+		t.Errorf("clustered data occupies %d 1K-buckets, want ≲600", len(buckets))
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := PaperDefaults(10)
+	bad.XMax = bad.XMin
+	if _, err := Synthetic(bad, 1); err == nil {
+		t.Error("empty x range must fail")
+	}
+	bad = PaperDefaults(10)
+	bad.LMin = -1
+	if _, err := Synthetic(bad, 1); err == nil {
+		t.Error("negative dimension range must fail")
+	}
+	bad = PaperDefaults(-1)
+	if _, err := Synthetic(bad, 1); err == nil {
+		t.Error("negative N must fail")
+	}
+	if rects, err := Synthetic(PaperDefaults(0), 1); err != nil || len(rects) != 0 {
+		t.Error("zero N must produce an empty set")
+	}
+}
+
+func TestCaliforniaRoadsMatchesPublishedStats(t *testing.T) {
+	rects := CaliforniaRoads(DefaultCaliforniaRoads(40_000), 2013)
+	if len(rects) != 40_000 {
+		t.Fatalf("got %d rects", len(rects))
+	}
+	st := Describe(rects)
+	// §7.8.2 published statistics, with generous tolerances for the
+	// synthetic stand-in.
+	if st.MeanL < 12 || st.MeanL > 26 {
+		t.Errorf("mean length = %.1f, want ≈18", st.MeanL)
+	}
+	if st.MeanB < 5 || st.MeanB > 12 {
+		t.Errorf("mean breadth = %.1f, want ≈8", st.MeanB)
+	}
+	if st.MinL < 1 || st.MinB < 1 {
+		t.Errorf("minimum dims = %g × %g, want ≥ 1", st.MinL, st.MinB)
+	}
+	if st.MaxL > 2285 || st.MaxB > 1344 {
+		t.Errorf("maximum dims = %g × %g, want ≤ 2285 × 1344", st.MaxL, st.MaxB)
+	}
+	if st.FracDimsUnder100 < 0.94 {
+		t.Errorf("%.1f%% under 100, want ≈97%%", st.FracDimsUnder100*100)
+	}
+	if st.FracDimsUnder1000 < 0.99 {
+		t.Errorf("%.2f%% under 1000, want ≈99%%", st.FracDimsUnder1000*100)
+	}
+	// The space is 63K × 100K.
+	if st.Bounds.MinX() < 0 || st.Bounds.MaxX() > 63_000 || st.Bounds.MinY() < 0 || st.Bounds.MaxY() > 100_000 {
+		t.Errorf("bounds %v escape the 63K×100K space", st.Bounds)
+	}
+	// Road data is skewed: a noticeable share of 1K×1K buckets must be
+	// empty (uniform data with 40K rects would fill essentially all
+	// 6300 buckets).
+	buckets := map[[2]int]bool{}
+	for _, r := range rects {
+		buckets[[2]int{int(r.X / 1000), int(r.Y / 1000)}] = true
+	}
+	if got := float64(len(buckets)) / 6300; got > 0.9 {
+		t.Errorf("roads fill %.0f%% of 1K buckets; expected skew", got*100)
+	}
+	// Determinism.
+	again := CaliforniaRoads(DefaultCaliforniaRoads(40_000), 2013)
+	if !reflect.DeepEqual(rects, again) {
+		t.Error("same seed must reproduce the road set")
+	}
+}
+
+func TestSampleAndEnlargeAll(t *testing.T) {
+	rects, _ := Synthetic(PaperDefaults(10_000), 5)
+	half := Sample(rects, 0.5, 9)
+	if f := float64(len(half)) / 10_000; f < 0.45 || f > 0.55 {
+		t.Errorf("sample kept %.2f, want ≈0.5", f)
+	}
+	if got := Sample(rects, 0.5, 9); !reflect.DeepEqual(got, half) {
+		t.Error("sampling must be deterministic")
+	}
+	if len(Sample(rects, 0, 1)) != 0 {
+		t.Error("p=0 keeps nothing")
+	}
+	if len(Sample(rects, 1, 1)) != len(rects) {
+		t.Error("p=1 keeps everything")
+	}
+
+	big := EnlargeAll(rects[:100], 2)
+	for i := range big {
+		if math.Abs(big[i].L-2*rects[i].L) > 1e-9 || math.Abs(big[i].B-2*rects[i].B) > 1e-9 {
+			t.Fatalf("enlarge factor wrong at %d: %v vs %v", i, big[i], rects[i])
+		}
+		bc, rc := big[i].Center(), rects[i].Center()
+		if math.Abs(bc.X-rc.X) > 1e-9 || math.Abs(bc.Y-rc.Y) > 1e-9 {
+			t.Fatalf("enlarge moved center at %d: %v vs %v", i, bc, rc)
+		}
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	if st := Describe(nil); st.N != 0 {
+		t.Errorf("empty Describe = %+v", st)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	rects := []geom.Rect{
+		{X: 1.5, Y: 2, L: 3, B: 4},
+		{X: -10, Y: 0.25, L: 0, B: 0},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rects); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rects) {
+		t.Errorf("round trip = %v, want %v", got, rects)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1,2,3",     // wrong field count
+		"1,2,3,x",   // bad float
+		"1,2,-3,4",  // negative length
+		"1,2,3,4,5", // too many fields
+	}
+	for _, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("Read(%q) unexpectedly succeeded", text)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := Read(strings.NewReader("# header\n\n1,2,3,4\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("comment handling: %v, %v", got, err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rects.csv")
+	rects, _ := Synthetic(PaperDefaults(50), 1)
+	if err := WriteFile(path, rects); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rects) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Gaussian, Clustered} {
+		got, err := ParseDistribution(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDistribution(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDistribution("zipf"); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+	if Distribution(9).String() == "" {
+		t.Error("unknown distribution String must not be empty")
+	}
+}

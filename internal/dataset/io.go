@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mwsjoin/internal/geom"
+)
+
+// The on-disk dataset format is one rectangle per line in the paper's
+// (x, y, l, b) notation, comma separated. Lines starting with '#' and
+// blank lines are ignored.
+
+// Write renders rectangles to w.
+func Write(w io.Writer, rects []geom.Rect) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# x,y,l,b — start-point (top-left) and dimensions"); err != nil {
+		return err
+	}
+	for _, r := range rects {
+		if _, err := fmt.Fprintf(bw, "%s,%s,%s,%s\n",
+			formatFloat(r.X), formatFloat(r.Y), formatFloat(r.L), formatFloat(r.B)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Read parses rectangles from r, validating each.
+func Read(r io.Reader) ([]geom.Rect, error) {
+	var rects []geom.Rect
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("dataset: line %d: want 4 comma-separated fields, got %d", lineNo, len(parts))
+		}
+		var vals [4]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		rect, err := geom.NewRect(vals[0], vals[1], vals[2], vals[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		rects = append(rects, rect)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rects, nil
+}
+
+// WriteFile writes rectangles to the named file.
+func WriteFile(path string, rects []geom.Rect) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, rects); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads rectangles from the named file.
+func ReadFile(path string) ([]geom.Rect, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,251 @@
+// Package dfs simulates the distributed file system underneath the
+// map-reduce engine (§2 of the paper: "Input data is distributed across
+// several physical locations on a distributed file system"). Files hold
+// sequences of encoded records, split into fixed-size blocks, and every
+// read and write is charged to byte/record/block counters.
+//
+// The point of the simulation is cost accounting, not durability: the
+// paper's 2-way Cascade baseline loses precisely because each cascaded
+// join writes a large intermediate result to HDFS and reads it back
+// (§6.4). The counters exposed here make that cost measurable in the
+// reproduction.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBlockSize mirrors the 64 MiB HDFS block size of the paper's
+// Hadoop 0.20.2 era.
+const DefaultBlockSize = 64 << 20
+
+// Stats aggregates I/O counters for a file system. All fields count
+// since creation (or the last ResetStats).
+type Stats struct {
+	BytesWritten   int64
+	BytesRead      int64
+	RecordsWritten int64
+	RecordsRead    int64
+	BlocksWritten  int64
+	BlocksRead     int64
+	FilesCreated   int64
+	FilesDeleted   int64
+}
+
+// FS is a simulated distributed file system. It is safe for concurrent
+// use: mappers read input splits and reducers write output files in
+// parallel.
+type FS struct {
+	blockSize int64
+
+	mu    sync.RWMutex
+	files map[string]*file
+
+	bytesWritten   atomic.Int64
+	bytesRead      atomic.Int64
+	recordsWritten atomic.Int64
+	recordsRead    atomic.Int64
+	filesCreated   atomic.Int64
+	filesDeleted   atomic.Int64
+}
+
+type file struct {
+	records [][]byte
+	bytes   int64
+}
+
+// New creates a file system with the given block size; sizes ≤ 0 fall
+// back to DefaultBlockSize.
+func New(blockSize int64) *FS {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &FS{blockSize: blockSize, files: make(map[string]*file)}
+}
+
+// BlockSize returns the configured block size.
+func (fs *FS) BlockSize() int64 { return fs.blockSize }
+
+// Create makes (or truncates) the named file and returns a writer for
+// it. The writer is not safe for concurrent use; create one writer per
+// goroutine (e.g. one per reducer output partition).
+func (fs *FS) Create(name string) *Writer {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, exists := fs.files[name]; !exists {
+		fs.filesCreated.Add(1)
+	}
+	f := &file{}
+	fs.files[name] = f
+	return &Writer{fs: fs, f: f}
+}
+
+// Delete removes the named file; deleting a missing file is an error so
+// that lifecycle bugs in job chains surface.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("dfs: delete %q: no such file", name)
+	}
+	delete(fs.files, name)
+	fs.filesDeleted.Add(1)
+	return nil
+}
+
+// Exists reports whether the named file exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// List returns the names of all files in lexical order.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the byte size and record count of the named file.
+func (fs *FS) Size(name string) (bytes, records int64, err error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("dfs: stat %q: no such file", name)
+	}
+	return f.bytes, int64(len(f.records)), nil
+}
+
+// Scan reads every record of the named file in order, charging the read
+// counters, and invokes fn on each. The callback receives the stored
+// byte slice; callers must not retain or mutate it.
+func (fs *FS) Scan(name string, fn func(record []byte) error) error {
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("dfs: open %q: no such file", name)
+	}
+	var bytes int64
+	for _, rec := range f.records {
+		bytes += int64(len(rec))
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	fs.bytesRead.Add(bytes)
+	fs.recordsRead.Add(int64(len(f.records)))
+	return nil
+}
+
+// ScanRange reads records [lo, hi) of the named file — an input split
+// assigned to one mapper. Counters are charged for the records actually
+// delivered.
+func (fs *FS) ScanRange(name string, lo, hi int64, fn func(record []byte) error) error {
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("dfs: open %q: no such file", name)
+	}
+	n := int64(len(f.records))
+	if lo < 0 || hi < lo || hi > n {
+		return fmt.Errorf("dfs: scan %q range [%d,%d) out of bounds (0..%d)", name, lo, hi, n)
+	}
+	var bytes int64
+	for _, rec := range f.records[lo:hi] {
+		bytes += int64(len(rec))
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	fs.bytesRead.Add(bytes)
+	fs.recordsRead.Add(hi - lo)
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters. Block counts are
+// derived from byte counts at the configured block size (rounded up per
+// whole-FS aggregate, mirroring how HDFS reports block traffic).
+func (fs *FS) Stats() Stats {
+	br := fs.bytesRead.Load()
+	bw := fs.bytesWritten.Load()
+	return Stats{
+		BytesWritten:   bw,
+		BytesRead:      br,
+		RecordsWritten: fs.recordsWritten.Load(),
+		RecordsRead:    fs.recordsRead.Load(),
+		BlocksWritten:  (bw + fs.blockSize - 1) / fs.blockSize,
+		BlocksRead:     (br + fs.blockSize - 1) / fs.blockSize,
+		FilesCreated:   fs.filesCreated.Load(),
+		FilesDeleted:   fs.filesDeleted.Load(),
+	}
+}
+
+// ResetStats zeroes the I/O counters without touching file contents.
+func (fs *FS) ResetStats() {
+	fs.bytesWritten.Store(0)
+	fs.bytesRead.Store(0)
+	fs.recordsWritten.Store(0)
+	fs.recordsRead.Store(0)
+	fs.filesCreated.Store(0)
+	fs.filesDeleted.Store(0)
+}
+
+// Writer appends records to a file created with Create.
+type Writer struct {
+	fs      *FS
+	f       *file
+	pending [][]byte
+	bytes   int64
+	closed  bool
+}
+
+// Append adds one record. The bytes are copied, so the caller may reuse
+// the buffer.
+func (w *Writer) Append(record []byte) {
+	if w.closed {
+		panic("dfs: Append on closed writer")
+	}
+	cp := append([]byte(nil), record...)
+	w.pending = append(w.pending, cp)
+	w.bytes += int64(len(cp))
+}
+
+// Close publishes the appended records to the file and charges the
+// write counters. A writer must be closed exactly once.
+func (w *Writer) Close() error {
+	if w.closed {
+		return fmt.Errorf("dfs: writer closed twice")
+	}
+	w.closed = true
+	w.fs.mu.Lock()
+	w.f.records = append(w.f.records, w.pending...)
+	w.f.bytes += w.bytes
+	w.fs.mu.Unlock()
+	w.fs.bytesWritten.Add(w.bytes)
+	w.fs.recordsWritten.Add(int64(len(w.pending)))
+	w.pending = nil
+	return nil
+}
+
+// WriteFile is a convenience that creates the file and writes all the
+// given records at once.
+func (fs *FS) WriteFile(name string, records [][]byte) error {
+	w := fs.Create(name)
+	for _, r := range records {
+		w.Append(r)
+	}
+	return w.Close()
+}

@@ -1,0 +1,90 @@
+// Package estimate provides sampling-based spatial join cardinality
+// estimation. The paper's 2-way Cascade baseline evaluates a multi-way
+// query as a sequence of 2-way joins and footnote 1 assumes they run in
+// the optimal order; this package supplies the estimates a planner
+// needs to pick that order: the expected number of rectangle pairs
+// satisfying an overlap or range predicate between two datasets.
+//
+// The estimator joins uniform samples of both sides with the
+// plane-sweep join and scales the matched-pair count by the sampling
+// rates. For a predicate with selectivity σ and samples of size s₁ and
+// s₂, the estimate N₁·N₂·(matches/(s₁·s₂)) is unbiased with relative
+// standard error ≈ 1/√matches, so the default sample size of 1024 per
+// side resolves selectivities down to about 10⁻⁵ — ample for ranking
+// join orders.
+package estimate
+
+import (
+	"math/rand/v2"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/sweep"
+)
+
+// DefaultSampleSize is the per-side sample size used when a Sampler is
+// built with size ≤ 0.
+const DefaultSampleSize = 1024
+
+// Sampler estimates join cardinalities over rectangle datasets with
+// deterministic sampling.
+type Sampler struct {
+	size int
+	seed uint64
+}
+
+// NewSampler builds a sampler; size ≤ 0 uses DefaultSampleSize.
+func NewSampler(size int, seed uint64) *Sampler {
+	if size <= 0 {
+		size = DefaultSampleSize
+	}
+	return &Sampler{size: size, seed: seed}
+}
+
+// sample draws min(size, len(rects)) rectangles without replacement,
+// deterministically from the sampler's seed and a stream id.
+func (s *Sampler) sample(rects []geom.Rect, stream uint64) []geom.Rect {
+	if len(rects) <= s.size {
+		return rects
+	}
+	rng := rand.New(rand.NewPCG(s.seed, stream))
+	// Partial Fisher–Yates over a copy of the index space.
+	idx := make([]int32, len(rects))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	out := make([]geom.Rect, s.size)
+	for i := 0; i < s.size; i++ {
+		j := i + rng.IntN(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = rects[idx[i]]
+	}
+	return out
+}
+
+// JoinCardinality estimates the number of (r1, r2) pairs satisfying the
+// predicate between the two datasets. Empty inputs estimate 0.
+func (s *Sampler) JoinCardinality(r1, r2 []geom.Rect, pred query.Predicate) float64 {
+	if len(r1) == 0 || len(r2) == 0 {
+		return 0
+	}
+	s1 := s.sample(r1, 1)
+	s2 := s.sample(r2, 2)
+	matches := 0
+	sweep.Join(s1, s2, pred.Weight(), func(_, _ int) bool {
+		matches++
+		return true
+	})
+	scale := (float64(len(r1)) / float64(len(s1))) * (float64(len(r2)) / float64(len(s2)))
+	return float64(matches) * scale
+}
+
+// Selectivity estimates the fraction of rectangle pairs satisfying the
+// predicate (cardinality / (|r1|·|r2|)); it returns 0 for empty inputs.
+func (s *Sampler) Selectivity(r1, r2 []geom.Rect, pred query.Predicate) float64 {
+	n := float64(len(r1)) * float64(len(r2))
+	if n == 0 {
+		return 0
+	}
+	return s.JoinCardinality(r1, r2, pred) / n
+}

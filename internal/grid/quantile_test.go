@@ -1,0 +1,112 @@
+package grid
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mwsjoin/internal/geom"
+)
+
+// clusteredRects concentrates most rectangles in one corner of the
+// space — the skew pattern quantile partitioning exists for.
+func clusteredRects(n int, rng *rand.Rand) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		if i%10 == 0 {
+			// 10% background spread over the full space.
+			rects[i] = geom.Rect{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, L: 5, B: 5}
+		} else {
+			// 90% in a 100×100 corner.
+			rects[i] = geom.Rect{X: rng.Float64() * 100, Y: 900 + rng.Float64()*100, L: 5, B: 5}
+		}
+	}
+	return rects
+}
+
+func TestNewQuantileBalancesSkew(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 7))
+	rects := clusteredRects(4000, rng)
+	bounds := geom.Rect{X: 0, Y: 1010, L: 1010, B: 1010}
+
+	uniform, err := NewUniform(bounds, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantile, err := NewQuantile(rects, 8, 8, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uSkew := uniform.SplitSkew(rects)
+	qSkew := quantile.SplitSkew(rects)
+	if qSkew >= uSkew/3 {
+		t.Errorf("quantile skew %.2f not much better than uniform %.2f", qSkew, uSkew)
+	}
+	// Per-axis quantiles cannot fully flatten 2D-correlated clusters
+	// (dense rows × dense columns compound), so "balanced" here means
+	// single digits where the uniform grid is ~50.
+	if qSkew > 4.5 {
+		t.Errorf("quantile skew %.2f, want single digits", qSkew)
+	}
+	// Structure invariants hold.
+	if quantile.NumCells() != 64 {
+		t.Errorf("NumCells = %d", quantile.NumCells())
+	}
+	if got := quantile.Bounds(); got != bounds {
+		t.Errorf("Bounds = %v, want %v", got, bounds)
+	}
+}
+
+func TestNewQuantileDegenerateData(t *testing.T) {
+	// All rectangles share a start point: cuts must still ascend.
+	rects := make([]geom.Rect, 100)
+	for i := range rects {
+		rects[i] = geom.Rect{X: 50, Y: 50, L: 1, B: 1}
+	}
+	p, err := NewQuantile(rects, 4, 4, geom.Rect{X: 0, Y: 100, L: 100, B: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rectangle still lands somewhere consistent.
+	for _, r := range rects {
+		c := p.Project(r)
+		if !p.Valid(c) {
+			t.Fatalf("Project out of range: %d", c)
+		}
+	}
+}
+
+func TestNewQuantileValidation(t *testing.T) {
+	rects := []geom.Rect{{X: 1, Y: 1, L: 1, B: 1}}
+	if _, err := NewQuantile(nil, 2, 2, geom.Rect{}); err == nil {
+		t.Error("empty data must fail")
+	}
+	if _, err := NewQuantile(rects, 0, 2, geom.Rect{}); err == nil {
+		t.Error("zero rows must fail")
+	}
+	// Zero-area bounds fall back to the data's bounding box — a single
+	// degenerate rectangle cannot support one, so this must fail
+	// cleanly.
+	if _, err := NewQuantile([]geom.Rect{{X: 1, Y: 1}}, 2, 2, geom.Rect{}); err == nil {
+		t.Error("degenerate data bounds must fail")
+	}
+	// With explicit bounds it succeeds.
+	if _, err := NewQuantile([]geom.Rect{{X: 1, Y: 1}}, 2, 2, geom.Rect{X: 0, Y: 10, L: 10, B: 10}); err != nil {
+		t.Errorf("explicit bounds: %v", err)
+	}
+}
+
+func TestSplitSkewUniformData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	rects := make([]geom.Rect, 4000)
+	for i := range rects {
+		rects[i] = geom.Rect{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, L: 3, B: 3}
+	}
+	p, _ := NewUniform(geom.Rect{X: 0, Y: 1010, L: 1010, B: 1010}, 8, 8)
+	if skew := p.SplitSkew(rects); skew > 1.6 {
+		t.Errorf("uniform data skew = %.2f, want near 1", skew)
+	}
+	if skew := p.SplitSkew(nil); skew != 0 {
+		t.Errorf("empty workload skew = %v", skew)
+	}
+}

@@ -1,0 +1,141 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"mwsjoin/internal/geom"
+)
+
+// rtreeFanout is the maximum number of children per R-tree node. 16 is
+// a good compromise between tree depth and per-node scan cost for the
+// in-memory trees built inside reducers.
+const rtreeFanout = 16
+
+// RTree is an immutable R-tree bulk-loaded with the Sort-Tile-Recursive
+// (STR) algorithm. STR sorts rectangles by center x, slices them into
+// vertical tiles, sorts each tile by center y and packs leaves bottom
+// up, producing near-optimal space utilisation for one-shot indexes —
+// exactly the lifecycle of a reducer-local index.
+type RTree struct {
+	rects []geom.Rect
+	nodes []rtreeNode
+	root  int32
+	count int
+}
+
+// rtreeNode is either a leaf (leaf=true, items hold rect indices) or an
+// internal node (items hold child node indices).
+type rtreeNode struct {
+	mbr   geom.Rect
+	items []int32
+	leaf  bool
+}
+
+// NewRTree bulk-loads an R-tree over rects; the slice is retained, not
+// copied. Building an empty tree is allowed.
+func NewRTree(rects []geom.Rect) *RTree {
+	t := &RTree{rects: rects, count: len(rects), root: -1}
+	if len(rects) == 0 {
+		return t
+	}
+
+	// Leaf level: STR packing.
+	idx := make([]int32, len(rects))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return rects[idx[a]].Center().X < rects[idx[b]].Center().X
+	})
+	nLeaves := (len(rects) + rtreeFanout - 1) / rtreeFanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := nSlices * rtreeFanout
+
+	var level []int32
+	for s := 0; s < len(idx); s += sliceSize {
+		hi := min(s+sliceSize, len(idx))
+		tile := idx[s:hi]
+		sort.Slice(tile, func(a, b int) bool {
+			return rects[tile[a]].Center().Y < rects[tile[b]].Center().Y
+		})
+		for l := 0; l < len(tile); l += rtreeFanout {
+			lh := min(l+rtreeFanout, len(tile))
+			items := append([]int32(nil), tile[l:lh]...)
+			mbr := rects[items[0]]
+			for _, i := range items[1:] {
+				mbr = mbr.Union(rects[i])
+			}
+			t.nodes = append(t.nodes, rtreeNode{mbr: mbr, items: items, leaf: true})
+			level = append(level, int32(len(t.nodes)-1))
+		}
+	}
+
+	// Internal levels: pack children in slice order until one root
+	// remains.
+	for len(level) > 1 {
+		var next []int32
+		for s := 0; s < len(level); s += rtreeFanout {
+			hi := min(s+rtreeFanout, len(level))
+			items := append([]int32(nil), level[s:hi]...)
+			mbr := t.nodes[items[0]].mbr
+			for _, c := range items[1:] {
+				mbr = mbr.Union(t.nodes[c].mbr)
+			}
+			t.nodes = append(t.nodes, rtreeNode{mbr: mbr, items: items})
+			next = append(next, int32(len(t.nodes)-1))
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+// Len implements Index.
+func (t *RTree) Len() int { return t.count }
+
+// Height returns the number of levels in the tree (0 for an empty
+// tree); exposed for tests and diagnostics.
+func (t *RTree) Height() int {
+	if t.root < 0 {
+		return 0
+	}
+	h := 1
+	n := t.nodes[t.root]
+	for !n.leaf {
+		h++
+		n = t.nodes[n.items[0]]
+	}
+	return h
+}
+
+// Probe implements Index.
+func (t *RTree) Probe(r geom.Rect, d float64, fn func(i int) bool) {
+	if t.root < 0 {
+		return
+	}
+	t.probe(t.root, r, d, fn)
+}
+
+// probe recursively descends nodes whose MBR is within d of the probe.
+func (t *RTree) probe(node int32, r geom.Rect, d float64, fn func(i int) bool) bool {
+	n := &t.nodes[node]
+	if n.leaf {
+		for _, i := range n.items {
+			if matches(t.rects[i], r, d) {
+				if !fn(int(i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.items {
+		if matches(t.nodes[c].mbr, r, d) {
+			if !t.probe(c, r, d, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}

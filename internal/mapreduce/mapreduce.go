@@ -1,0 +1,370 @@
+// Package mapreduce implements the execution substrate of the paper
+// (§2): a map-reduce engine with user-defined map and reduce functions,
+// a partitioner that assigns intermediate keys to reducers, and a
+// shuffle that groups values by key. The engine is an in-process
+// simulation of Hadoop-era map-reduce, built for *cost accounting*: it
+// counts every intermediate key-value pair and byte moved between the
+// map and reduce sides, because the paper's central argument is that
+// algorithm quality on map-reduce is governed by the number of
+// intermediate pairs produced (§1).
+//
+// Execution model:
+//
+//   - the input slice is divided into NumMappers contiguous splits;
+//   - each mapper applies Map to its records and emits (K, V) pairs;
+//   - each pair is routed to reducer Partition(K, NumReducers);
+//   - after all mappers finish, each reducer groups its pairs by key
+//     and applies Reduce to every (key, values) group in ascending key
+//     order;
+//   - reducer outputs are concatenated in reducer-index order.
+//
+// The engine is deterministic regardless of goroutine scheduling:
+// pairs are concatenated in mapper-index order before grouping, keys
+// are reduced in sorted order, and outputs are assembled in reducer
+// order. Mapper fault injection (Config.FailMap with MaxAttempts)
+// deterministically re-runs failed map attempts, discarding their
+// partial output, to mirror Hadoop's task retry semantics.
+package mapreduce
+
+import (
+	"cmp"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config carries the engine knobs shared by all jobs.
+type Config struct {
+	// Name identifies the job in stats and error messages.
+	Name string
+	// NumReducers is the number of reduce tasks (k in §5.1). Required.
+	NumReducers int
+	// NumMappers is the number of map splits; defaults to Parallelism.
+	NumMappers int
+	// Parallelism bounds concurrently running tasks; defaults to
+	// GOMAXPROCS.
+	Parallelism int
+	// MaxAttempts is the per-mapper attempt budget when FailMap is
+	// set; defaults to 1 (no retry).
+	MaxAttempts int
+	// FailMap, when non-nil, is consulted before each map attempt;
+	// returning true makes the attempt fail after producing (and then
+	// discarding) its output, simulating a task crash.
+	FailMap func(mapper, attempt int) bool
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.NumReducers <= 0 {
+		return cfg, fmt.Errorf("mapreduce: job %q: NumReducers must be positive, got %d", cfg.Name, cfg.NumReducers)
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.NumMappers <= 0 {
+		cfg.NumMappers = cfg.Parallelism
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 1
+	}
+	return cfg, nil
+}
+
+// Stats reports what a job did. The intermediate counters are the
+// paper's communication-cost metric.
+type Stats struct {
+	Job                 string
+	MapInputRecords     int64
+	IntermediatePairs   int64 // total (K, V) pairs shuffled to reducers
+	IntermediateBytes   int64 // as measured by Job.PairBytes, 0 if unset
+	ReduceInputKeys     int64
+	ReduceOutputRecords int64
+	MapAttempts         int64 // includes failed attempts
+	MapFailures         int64
+	// PairsPerReducer measures reducer load balance: entry i is the
+	// number of intermediate pairs routed to reducer i.
+	PairsPerReducer []int64
+
+	MapWall    time.Duration
+	ReduceWall time.Duration
+	TotalWall  time.Duration
+}
+
+// MaxReducerSkew returns the ratio of the most loaded reducer to the
+// mean reducer load (1 = perfectly balanced); it returns 0 when no
+// pairs were shuffled.
+func (s *Stats) MaxReducerSkew() float64 {
+	if s.IntermediatePairs == 0 || len(s.PairsPerReducer) == 0 {
+		return 0
+	}
+	var max int64
+	for _, n := range s.PairsPerReducer {
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(s.IntermediatePairs) / float64(len(s.PairsPerReducer))
+	return float64(max) / mean
+}
+
+// Add accumulates another job's counters into s (used when an
+// algorithm runs several rounds and wants aggregate numbers). Wall
+// times add; per-reducer loads add element-wise when the shapes match.
+func (s *Stats) Add(o *Stats) {
+	s.MapInputRecords += o.MapInputRecords
+	s.IntermediatePairs += o.IntermediatePairs
+	s.IntermediateBytes += o.IntermediateBytes
+	s.ReduceInputKeys += o.ReduceInputKeys
+	s.ReduceOutputRecords += o.ReduceOutputRecords
+	s.MapAttempts += o.MapAttempts
+	s.MapFailures += o.MapFailures
+	s.MapWall += o.MapWall
+	s.ReduceWall += o.ReduceWall
+	s.TotalWall += o.TotalWall
+	if len(s.PairsPerReducer) == len(o.PairsPerReducer) {
+		for i := range s.PairsPerReducer {
+			s.PairsPerReducer[i] += o.PairsPerReducer[i]
+		}
+	} else if len(s.PairsPerReducer) == 0 {
+		s.PairsPerReducer = append(s.PairsPerReducer, o.PairsPerReducer...)
+	}
+}
+
+// Job describes one map-reduce job over input records of type I,
+// intermediate pairs (K, V) and output records of type O. Keys must be
+// ordered so the reduce phase is deterministic.
+type Job[I any, K cmp.Ordered, V any, O any] struct {
+	Config Config
+	// Map transforms one input record into intermediate pairs.
+	Map func(in I, emit func(K, V)) error
+	// Partition assigns a key to one of n reducers; nil uses a
+	// stable default hash of the key.
+	Partition func(key K, n int) int
+	// Reduce folds all values of one key into output records.
+	Reduce func(key K, values []V, emit func(O)) error
+	// PairBytes sizes an intermediate pair for the byte counters; nil
+	// counts pairs only.
+	PairBytes func(key K, value V) int
+}
+
+// pairBatch is the output of one mapper for one reducer.
+type pairBatch[K cmp.Ordered, V any] struct {
+	keys []K
+	vals []V
+}
+
+// Run executes the job on the given input and returns the concatenated
+// reducer outputs plus counters. Map or Reduce errors abort the job;
+// when several tasks fail, the error of the lowest-index task is
+// returned so failures are reproducible.
+func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
+	cfg, err := j.Config.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if j.Map == nil || j.Reduce == nil {
+		return nil, nil, fmt.Errorf("mapreduce: job %q: Map and Reduce are required", cfg.Name)
+	}
+	partition := j.Partition
+	if partition == nil {
+		partition = DefaultPartition[K]
+	}
+
+	stats := &Stats{
+		Job:             cfg.Name,
+		MapInputRecords: int64(len(input)),
+		PairsPerReducer: make([]int64, cfg.NumReducers),
+	}
+	start := time.Now()
+
+	// ---- map phase ----
+	mapStart := time.Now()
+	nm := cfg.NumMappers
+	if nm > len(input) && len(input) > 0 {
+		nm = len(input)
+	}
+	if len(input) == 0 {
+		nm = 0
+	}
+	// batches[m][r] holds mapper m's pairs for reducer r.
+	batches := make([][]pairBatch[K, V], nm)
+	mapErrs := make([]error, nm)
+	attempts := make([]int64, nm)
+	failures := make([]int64, nm)
+
+	runTasks(cfg.Parallelism, nm, func(m int) {
+		lo := len(input) * m / nm
+		hi := len(input) * (m + 1) / nm
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			attempts[m]++
+			out := make([]pairBatch[K, V], cfg.NumReducers)
+			emit := func(k K, v V) {
+				r := partition(k, cfg.NumReducers)
+				if r < 0 || r >= cfg.NumReducers {
+					panic(fmt.Sprintf("mapreduce: job %q: partitioner sent key %v to reducer %d of %d", cfg.Name, k, r, cfg.NumReducers))
+				}
+				out[r].keys = append(out[r].keys, k)
+				out[r].vals = append(out[r].vals, v)
+			}
+			var err error
+			for i := lo; i < hi && err == nil; i++ {
+				err = safeMap(j.Map, input[i], emit)
+			}
+			injected := cfg.FailMap != nil && cfg.FailMap(m, attempt)
+			if injected {
+				failures[m]++
+				if attempt == cfg.MaxAttempts {
+					mapErrs[m] = fmt.Errorf("mapreduce: job %q: mapper %d failed after %d attempts", cfg.Name, m, attempt)
+					return
+				}
+				continue // discard output, retry
+			}
+			if err != nil {
+				mapErrs[m] = fmt.Errorf("mapreduce: job %q: mapper %d: %w", cfg.Name, m, err)
+				return
+			}
+			batches[m] = out
+			return
+		}
+	})
+	for m, err := range mapErrs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w (mapper %d)", err, m)
+		}
+	}
+	for m := range attempts {
+		stats.MapAttempts += attempts[m]
+		stats.MapFailures += failures[m]
+	}
+	stats.MapWall = time.Since(mapStart)
+
+	// ---- shuffle: concatenate per-reducer in mapper order ----
+	type reducerInput struct {
+		keys []K
+		vals []V
+	}
+	rin := make([]reducerInput, cfg.NumReducers)
+	for r := 0; r < cfg.NumReducers; r++ {
+		var total int
+		for m := 0; m < nm; m++ {
+			total += len(batches[m][r].keys)
+		}
+		rin[r].keys = make([]K, 0, total)
+		rin[r].vals = make([]V, 0, total)
+		for m := 0; m < nm; m++ {
+			rin[r].keys = append(rin[r].keys, batches[m][r].keys...)
+			rin[r].vals = append(rin[r].vals, batches[m][r].vals...)
+		}
+		stats.PairsPerReducer[r] = int64(total)
+		stats.IntermediatePairs += int64(total)
+		if j.PairBytes != nil {
+			for i := range rin[r].keys {
+				stats.IntermediateBytes += int64(j.PairBytes(rin[r].keys[i], rin[r].vals[i]))
+			}
+		}
+	}
+	batches = nil
+
+	// ---- reduce phase ----
+	reduceStart := time.Now()
+	outputs := make([][]O, cfg.NumReducers)
+	keyCounts := make([]int64, cfg.NumReducers)
+	redErrs := make([]error, cfg.NumReducers)
+	runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) {
+		in := rin[r]
+		if len(in.keys) == 0 {
+			return
+		}
+		// Group values by key, preserving arrival order within a key:
+		// sort distinct keys, bucket values by key.
+		groups := make(map[K][]V, len(in.keys)/2+1)
+		for i, k := range in.keys {
+			groups[k] = append(groups[k], in.vals[i])
+		}
+		keys := make([]K, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return cmp.Less(keys[a], keys[b]) })
+		keyCounts[r] = int64(len(keys))
+		emit := func(o O) { outputs[r] = append(outputs[r], o) }
+		for _, k := range keys {
+			if err := safeReduce(j.Reduce, k, groups[k], emit); err != nil {
+				redErrs[r] = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, err)
+				return
+			}
+		}
+	})
+	for _, err := range redErrs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.ReduceWall = time.Since(reduceStart)
+
+	var out []O
+	for r := 0; r < cfg.NumReducers; r++ {
+		stats.ReduceInputKeys += keyCounts[r]
+		out = append(out, outputs[r]...)
+	}
+	stats.ReduceOutputRecords = int64(len(out))
+	stats.TotalWall = time.Since(start)
+	return out, stats, nil
+}
+
+// safeMap invokes the map function, converting panics into errors so a
+// bad record cannot take down the whole process (mirrors Hadoop task
+// isolation).
+func safeMap[I any, K cmp.Ordered, V any](fn func(I, func(K, V)) error, in I, emit func(K, V)) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("map panic: %v", p)
+		}
+	}()
+	return fn(in, emit)
+}
+
+// safeReduce is the reduce-side twin of safeMap.
+func safeReduce[K cmp.Ordered, V any, O any](fn func(K, []V, func(O)) error, k K, vs []V, emit func(O)) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("reduce panic: %v", p)
+		}
+	}()
+	return fn(k, vs, emit)
+}
+
+// runTasks executes fn(0..n-1) with at most parallelism concurrent
+// invocations.
+func runTasks(parallelism, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

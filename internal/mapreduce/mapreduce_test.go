@@ -1,0 +1,365 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wordCountJob is the canonical smoke test: count word occurrences.
+func wordCountJob(cfg Config) *Job[string, string, int, string] {
+	return &Job[string, string, int, string]{
+		Config: cfg,
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(k string, vs []int, emit func(string)) error {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit(fmt.Sprintf("%s=%d", k, sum))
+			return nil
+		},
+		PairBytes: func(k string, _ int) int { return len(k) + 4 },
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	input := []string{"a b a", "c b", "a"}
+	job := wordCountJob(Config{Name: "wc", NumReducers: 4, NumMappers: 2})
+	out, stats, err := job.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	want := []string{"a=3", "b=2", "c=1"}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("out = %v, want %v", out, want)
+	}
+	if stats.MapInputRecords != 3 {
+		t.Errorf("MapInputRecords = %d, want 3", stats.MapInputRecords)
+	}
+	if stats.IntermediatePairs != 6 {
+		t.Errorf("IntermediatePairs = %d, want 6", stats.IntermediatePairs)
+	}
+	if stats.IntermediateBytes != 6*5 {
+		t.Errorf("IntermediateBytes = %d, want 30", stats.IntermediateBytes)
+	}
+	if stats.ReduceInputKeys != 3 || stats.ReduceOutputRecords != 3 {
+		t.Errorf("reduce stats = %+v", stats)
+	}
+	var perReducer int64
+	for _, n := range stats.PairsPerReducer {
+		perReducer += n
+	}
+	if perReducer != stats.IntermediatePairs {
+		t.Errorf("per-reducer pair counts sum to %d, want %d", perReducer, stats.IntermediatePairs)
+	}
+	if stats.MapAttempts != 2 || stats.MapFailures != 0 {
+		t.Errorf("attempt stats = %+v", stats)
+	}
+}
+
+// TestDeterminism: the same job run many times with high parallelism
+// must produce byte-identical output ordering.
+func TestDeterminism(t *testing.T) {
+	var input []int
+	for i := 0; i < 500; i++ {
+		input = append(input, i)
+	}
+	job := &Job[int, int, int, [2]int]{
+		Config:    Config{Name: "det", NumReducers: 7, NumMappers: 9, Parallelism: 8},
+		Map:       func(x int, emit func(int, int)) error { emit(x%13, x); return nil },
+		Partition: DefaultPartition[int],
+		Reduce: func(k int, vs []int, emit func([2]int)) error {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit([2]int{k, sum})
+			return nil
+		},
+	}
+	first, _, err := job.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, _, err := job.Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d differs: %v vs %v", i, got, first)
+		}
+	}
+}
+
+// TestValueOrderWithinKey: values of one key arrive in mapper-index
+// order, then input order — regardless of scheduling.
+func TestValueOrderWithinKey(t *testing.T) {
+	input := []int{10, 11, 12, 13, 14, 15}
+	job := &Job[int, int, int, []int]{
+		Config: Config{Name: "order", NumReducers: 1, NumMappers: 3, Parallelism: 3},
+		Map:    func(x int, emit func(int, int)) error { emit(0, x); return nil },
+		Reduce: func(_ int, vs []int, emit func([]int)) error {
+			emit(append([]int(nil), vs...))
+			return nil
+		},
+	}
+	out, _, err := job.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !reflect.DeepEqual(out[0], input) {
+		t.Errorf("value order = %v, want %v", out, input)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	job := wordCountJob(Config{Name: "bad", NumReducers: 0})
+	if _, _, err := job.Run([]string{"x"}); err == nil {
+		t.Error("NumReducers=0 must fail")
+	}
+	missing := &Job[string, string, int, string]{Config: Config{NumReducers: 1}}
+	if _, _, err := missing.Run([]string{"x"}); err == nil {
+		t.Error("missing Map/Reduce must fail")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	job := wordCountJob(Config{Name: "empty", NumReducers: 3})
+	out, stats, err := job.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.IntermediatePairs != 0 || stats.MapAttempts != 0 {
+		t.Errorf("empty input: out=%v stats=%+v", out, stats)
+	}
+}
+
+func TestMapErrorAborts(t *testing.T) {
+	job := &Job[int, int, int, int]{
+		Config: Config{Name: "maperr", NumReducers: 2, NumMappers: 2},
+		Map: func(x int, emit func(int, int)) error {
+			if x == 3 {
+				return errors.New("bad record")
+			}
+			emit(x, x)
+			return nil
+		},
+		Reduce: func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	}
+	_, _, err := job.Run([]int{1, 2, 3, 4})
+	if err == nil || !strings.Contains(err.Error(), "bad record") {
+		t.Errorf("err = %v, want bad record", err)
+	}
+}
+
+func TestReduceErrorAborts(t *testing.T) {
+	job := &Job[int, int, int, int]{
+		Config: Config{Name: "rederr", NumReducers: 2},
+		Map:    func(x int, emit func(int, int)) error { emit(x, x); return nil },
+		Reduce: func(k int, vs []int, emit func(int)) error {
+			if k == 2 {
+				return errors.New("reducer exploded")
+			}
+			emit(k)
+			return nil
+		},
+	}
+	_, _, err := job.Run([]int{1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "reducer exploded") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPanicsBecomeErrors(t *testing.T) {
+	job := &Job[int, int, int, int]{
+		Config: Config{Name: "panic", NumReducers: 1},
+		Map: func(x int, emit func(int, int)) error {
+			if x == 1 {
+				panic("map boom")
+			}
+			emit(x, x)
+			return nil
+		},
+		Reduce: func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	}
+	if _, _, err := job.Run([]int{0, 1}); err == nil || !strings.Contains(err.Error(), "map boom") {
+		t.Errorf("map panic err = %v", err)
+	}
+	job2 := &Job[int, int, int, int]{
+		Config: Config{Name: "panic2", NumReducers: 1},
+		Map:    func(x int, emit func(int, int)) error { emit(x, x); return nil },
+		Reduce: func(k int, vs []int, emit func(int)) error { panic("reduce boom") },
+	}
+	if _, _, err := job2.Run([]int{0}); err == nil || !strings.Contains(err.Error(), "reduce boom") {
+		t.Errorf("reduce panic err = %v", err)
+	}
+}
+
+// TestFaultInjectionRetry: a mapper that fails twice succeeds on the
+// third attempt and the job output is unaffected.
+func TestFaultInjectionRetry(t *testing.T) {
+	job := &Job[int, int, int, int]{
+		Config: Config{
+			Name: "faults", NumReducers: 2, NumMappers: 2, MaxAttempts: 3,
+			FailMap: func(mapper, attempt int) bool { return mapper == 0 && attempt <= 2 },
+		},
+		Map: func(x int, emit func(int, int)) error { emit(x%2, x); return nil },
+		Reduce: func(k int, vs []int, emit func(int)) error {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit(sum)
+			return nil
+		},
+	}
+	out, stats, err := job.Run([]int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(out)
+	if !reflect.DeepEqual(out, []int{4, 6}) {
+		t.Errorf("out = %v, want [4 6]", out)
+	}
+	if stats.MapFailures != 2 || stats.MapAttempts != 4 {
+		t.Errorf("stats = %+v, want 2 failures over 4 attempts", stats)
+	}
+	// Intermediate pairs must not double-count discarded attempts.
+	if stats.IntermediatePairs != 4 {
+		t.Errorf("IntermediatePairs = %d, want 4", stats.IntermediatePairs)
+	}
+}
+
+func TestFaultInjectionExhausted(t *testing.T) {
+	job := &Job[int, int, int, int]{
+		Config: Config{
+			Name: "doomed", NumReducers: 1, NumMappers: 1, MaxAttempts: 2,
+			FailMap: func(mapper, attempt int) bool { return true },
+		},
+		Map:    func(x int, emit func(int, int)) error { emit(0, x); return nil },
+		Reduce: func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	}
+	_, _, err := job.Run([]int{1})
+	if err == nil || !strings.Contains(err.Error(), "failed after 2 attempts") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBadPartitionerPanicsSurface(t *testing.T) {
+	job := &Job[int, int, int, int]{
+		Config:    Config{Name: "badpart", NumReducers: 2},
+		Map:       func(x int, emit func(int, int)) error { emit(x, x); return nil },
+		Partition: func(k, n int) int { return 99 },
+		Reduce:    func(k int, vs []int, emit func(int)) error { emit(k); return nil },
+	}
+	_, _, err := job.Run([]int{1})
+	if err == nil || !strings.Contains(err.Error(), "reducer 99") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStatsAddAndSkew(t *testing.T) {
+	a := &Stats{IntermediatePairs: 10, PairsPerReducer: []int64{8, 2}}
+	b := &Stats{IntermediatePairs: 6, PairsPerReducer: []int64{2, 4}, ReduceOutputRecords: 3}
+	a.Add(b)
+	if a.IntermediatePairs != 16 || a.ReduceOutputRecords != 3 {
+		t.Errorf("Add result = %+v", a)
+	}
+	if !reflect.DeepEqual(a.PairsPerReducer, []int64{10, 6}) {
+		t.Errorf("PairsPerReducer = %v", a.PairsPerReducer)
+	}
+	// skew: max=10, mean=8 → 1.25
+	if got := a.MaxReducerSkew(); got != 1.25 {
+		t.Errorf("skew = %v, want 1.25", got)
+	}
+	empty := &Stats{}
+	if empty.MaxReducerSkew() != 0 {
+		t.Error("empty skew must be 0")
+	}
+	var c Stats
+	c.Add(a)
+	if !reflect.DeepEqual(c.PairsPerReducer, a.PairsPerReducer) {
+		t.Error("Add into empty stats must copy per-reducer loads")
+	}
+}
+
+type cellLike int32 // named integer type, like grid.CellID
+
+func TestDefaultPartitionKinds(t *testing.T) {
+	if got := DefaultPartition(cellLike(13), 5); got != 3 {
+		t.Errorf("named int32 partition = %d, want 3", got)
+	}
+	if got := DefaultPartition(-7, 5); got < 0 || got >= 5 {
+		t.Errorf("negative int partition = %d out of range", got)
+	}
+	if got := DefaultPartition(uint16(9), 4); got != 1 {
+		t.Errorf("uint partition = %d, want 1", got)
+	}
+	if got := DefaultPartition("hello", 8); got < 0 || got >= 8 {
+		t.Errorf("string partition out of range: %d", got)
+	}
+	if got := DefaultPartition(3.25, 8); got < 0 || got >= 8 {
+		t.Errorf("float partition out of range: %d", got)
+	}
+	// Stability across calls.
+	if DefaultPartition("hello", 8) != DefaultPartition("hello", 8) {
+		t.Error("string partition must be stable")
+	}
+}
+
+func TestIdentityPartition(t *testing.T) {
+	if IdentityPartition(cellLike(6), 10) != 6 {
+		t.Error("identity partition of named int")
+	}
+	if IdentityPartition(uint8(3), 10) != 3 {
+		t.Error("identity partition of uint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("identity partition of string must panic")
+		}
+	}()
+	IdentityPartition("x", 10)
+}
+
+func TestRunTasksSequentialFallback(t *testing.T) {
+	var order []int
+	runTasks(1, 4, func(i int) { order = append(order, i) })
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Errorf("sequential order = %v", order)
+	}
+	runTasks(8, 0, func(i int) { t.Error("no tasks expected") })
+}
+
+func BenchmarkShuffleThroughput(b *testing.B) {
+	input := make([]int, 10000)
+	for i := range input {
+		input[i] = i
+	}
+	job := &Job[int, int, int, int]{
+		Config:    Config{Name: "bench", NumReducers: 64, NumMappers: 4},
+		Map:       func(x int, emit func(int, int)) error { emit(x%64, x); emit((x+7)%64, x); return nil },
+		Partition: IdentityPartition[int],
+		Reduce: func(k int, vs []int, emit func(int)) error {
+			emit(len(vs))
+			return nil
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := job.Run(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package mapreduce
+
+import (
+	"cmp"
+	"math"
+	"reflect"
+)
+
+// DefaultPartition assigns a key to a reducer with a stable,
+// platform-independent rule: integer-kind keys (including named types
+// such as grid.CellID) are taken modulo n, strings are FNV-1a hashed,
+// and floats are hashed from their bit pattern. Spatial jobs normally
+// use IdentityPartition so that intermediate key c goes to reducer c
+// exactly as in §5.1.
+func DefaultPartition[K cmp.Ordered](key K, n int) int {
+	v := reflect.ValueOf(key)
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		m := v.Int() % int64(n)
+		if m < 0 {
+			m += int64(n)
+		}
+		return int(m)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return int(v.Uint() % uint64(n))
+	case reflect.Float32, reflect.Float64:
+		return int(fnv64(math.Float64bits(v.Float())) % uint64(n))
+	case reflect.String:
+		return int(fnvString(v.String()) % uint64(n))
+	default:
+		panic("mapreduce: unsupported key kind for DefaultPartition")
+	}
+}
+
+// IdentityPartition routes integer-valued key c to reducer c; it panics
+// at emit time (via the engine's range check) if the key is outside
+// [0, n). This implements the paper's "an intermediate key-value pair
+// (c_i, u) is routed to the reducer c_i" (§5.1).
+func IdentityPartition[K cmp.Ordered](key K, n int) int {
+	v := reflect.ValueOf(key)
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return int(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return int(v.Uint())
+	default:
+		panic("mapreduce: IdentityPartition requires an integer key")
+	}
+}
+
+// fnv64 hashes a 64-bit value with FNV-1a.
+func fnv64(x uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime
+		x >>= 8
+	}
+	return h
+}
+
+// fnvString hashes a string with FNV-1a.
+func fnvString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,402 @@
+// Package pointquery implements the additional spatial query classes
+// the paper names as future work (§10) and that the related 2-way
+// systems it cites support (§3): containment queries and k-nearest-
+// neighbour joins — on the same partitioned map-reduce substrate as the
+// multi-way joins (a grid of partition-cells with one reducer per
+// cell).
+//
+// Containment finds, for a point dataset and a rectangle relation,
+// every (point, rectangle) pair with the point inside the closed
+// rectangle. It runs as a single job: points are projected to their
+// owning cell, rectangles are split, and each reducer probes a local
+// rectangle index per point. The ownership rule makes the output
+// duplicate-free by construction.
+//
+// KNNJoin finds, for every point of the outer set, its k nearest
+// points of the inner set. It runs as three jobs, the grid analogue of
+// Lu et al.'s map-reduce kNN join [13]:
+//
+//  1. local candidates: both point sets are projected; each reducer
+//     computes, per outer point, the distance to its k-th nearest
+//     co-located inner point — an upper bound on the true k-th
+//     neighbour distance (∞ when the cell holds fewer than k inner
+//     points);
+//  2. bounded replication: each outer point is replicated to every
+//     cell within its bound (all cells when unbounded), inner points
+//     are projected; reducers emit each cell's local top-k candidates
+//     per outer point;
+//  3. merge: candidates are grouped by outer point and the global
+//     top-k is selected, with deterministic distance-then-ID ordering.
+package pointquery
+
+import (
+	"fmt"
+	"sort"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/index"
+	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/spatial"
+)
+
+// PointSet is a named dataset of points.
+type PointSet struct {
+	Name string
+	Pts  []geom.Point
+}
+
+// Config tunes a point query execution.
+type Config struct {
+	// Parallelism bounds concurrent map/reduce tasks.
+	Parallelism int
+}
+
+// Stats aggregates per-job engine statistics.
+type Stats struct {
+	Rounds []*mapreduce.Stats
+}
+
+// IntermediatePairs sums the shuffled key-value pairs over all rounds.
+func (s *Stats) IntermediatePairs() int64 {
+	var n int64
+	for _, r := range s.Rounds {
+		n += r.IntermediatePairs
+	}
+	return n
+}
+
+// ContainmentPair reports that rectangle RectID contains point PointID.
+type ContainmentPair struct {
+	PointID int32
+	RectID  int32
+}
+
+// pointRec is a point tagged with its ID flowing through jobs.
+type pointRec struct {
+	ID int32
+	P  geom.Point
+}
+
+// containRec is the value union of the containment job.
+type containRec struct {
+	isPoint bool
+	pt      pointRec
+	rectID  int32
+	rect    geom.Rect
+}
+
+// Containment finds all (point, rectangle) containment pairs. Results
+// are in deterministic cell-then-input order.
+func Containment(points PointSet, rects spatial.Relation, part *grid.Partitioning, cfg Config) ([]ContainmentPair, *Stats, error) {
+	if part == nil {
+		return nil, nil, fmt.Errorf("pointquery: nil partitioning")
+	}
+	input := make([]containRec, 0, len(points.Pts)+len(rects.Items))
+	for i, p := range points.Pts {
+		input = append(input, containRec{isPoint: true, pt: pointRec{ID: int32(i), P: p}})
+	}
+	for _, it := range rects.Items {
+		input = append(input, containRec{rectID: it.ID, rect: it.R})
+	}
+
+	job := &mapreduce.Job[containRec, grid.CellID, containRec, ContainmentPair]{
+		Config: mapreduce.Config{Name: "containment", NumReducers: part.NumCells(), Parallelism: cfg.Parallelism},
+		Map: func(rec containRec, emit func(grid.CellID, containRec)) error {
+			if rec.isPoint {
+				emit(part.CellOf(rec.pt.P), rec)
+			} else {
+				part.ForEachSplit(rec.rect, func(c grid.CellID) { emit(c, rec) })
+			}
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition[grid.CellID],
+		Reduce: func(c grid.CellID, recs []containRec, emit func(ContainmentPair)) error {
+			var pts []pointRec
+			var ids []int32
+			var rs []geom.Rect
+			for _, rec := range recs {
+				if rec.isPoint {
+					pts = append(pts, rec.pt)
+				} else {
+					ids = append(ids, rec.rectID)
+					rs = append(rs, rec.rect)
+				}
+			}
+			if len(pts) == 0 || len(rs) == 0 {
+				return nil
+			}
+			ix := newIndex(rs)
+			for _, p := range pts {
+				probe := geom.Rect{X: p.P.X, Y: p.P.Y}
+				ix.Probe(probe, 0, func(j int) bool {
+					if rs[j].ContainsPoint(p.P) {
+						emit(ContainmentPair{PointID: p.ID, RectID: ids[j]})
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	pairs, st, err := job.Run(input)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pairs, &Stats{Rounds: []*mapreduce.Stats{st}}, nil
+}
+
+// Neighbor is one kNN candidate: the inner point's ID and its distance.
+type Neighbor struct {
+	ID   int32
+	Dist float64
+}
+
+// KNNResult is the k nearest inner points of one outer point, sorted by
+// ascending distance (ties by ID).
+type KNNResult struct {
+	ID        int32
+	Neighbors []Neighbor
+}
+
+// unbounded marks a round-one radius that could not be bounded locally.
+const unbounded = -1
+
+// boundRec carries an outer point and its round-one radius bound.
+type boundRec struct {
+	pt     pointRec
+	radius float64
+}
+
+// candRec is the value union of round two; outer carries the bound.
+type candRec struct {
+	isOuter bool
+	outer   boundRec
+	inner   pointRec
+}
+
+// KNNJoin computes, for every point of outer, its k nearest points of
+// inner. Results are sorted by outer point ID; every outer point
+// appears, with fewer than k neighbours only when inner has fewer than
+// k points.
+func KNNJoin(outer, inner PointSet, k int, part *grid.Partitioning, cfg Config) ([]KNNResult, *Stats, error) {
+	if part == nil {
+		return nil, nil, fmt.Errorf("pointquery: nil partitioning")
+	}
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("pointquery: k must be positive, got %d", k)
+	}
+	stats := &Stats{}
+
+	// ---- round one: local radius bounds ----
+	type r1in struct {
+		isOuter bool
+		pt      pointRec
+	}
+	input := make([]r1in, 0, len(outer.Pts)+len(inner.Pts))
+	for i, p := range outer.Pts {
+		input = append(input, r1in{isOuter: true, pt: pointRec{ID: int32(i), P: p}})
+	}
+	for i, p := range inner.Pts {
+		input = append(input, r1in{pt: pointRec{ID: int32(i), P: p}})
+	}
+	round1 := &mapreduce.Job[r1in, grid.CellID, r1in, boundRec]{
+		Config: mapreduce.Config{Name: "knn-bound", NumReducers: part.NumCells(), Parallelism: cfg.Parallelism},
+		Map: func(rec r1in, emit func(grid.CellID, r1in)) error {
+			emit(part.CellOf(rec.pt.P), rec)
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition[grid.CellID],
+		Reduce: func(c grid.CellID, recs []r1in, emit func(boundRec)) error {
+			var outs, ins []pointRec
+			for _, rec := range recs {
+				if rec.isOuter {
+					outs = append(outs, rec.pt)
+				} else {
+					ins = append(ins, rec.pt)
+				}
+			}
+			for _, o := range outs {
+				if len(ins) < k {
+					emit(boundRec{pt: o, radius: unbounded})
+					continue
+				}
+				dists := make([]float64, len(ins))
+				for i, in := range ins {
+					dists[i] = o.P.Dist(in.P)
+				}
+				sort.Float64s(dists)
+				emit(boundRec{pt: o, radius: dists[k-1]})
+			}
+			return nil
+		},
+	}
+	bounds, st1, err := round1.Run(input)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Rounds = append(stats.Rounds, st1)
+
+	// ---- round two: bounded replication, local top-k ----
+	type cand struct {
+		OuterID int32
+		N       Neighbor
+	}
+	r2input := make([]candRec, 0, len(bounds)+len(inner.Pts))
+	for _, b := range bounds {
+		r2input = append(r2input, candRec{isOuter: true, outer: b})
+	}
+	for i, p := range inner.Pts {
+		r2input = append(r2input, candRec{inner: pointRec{ID: int32(i), P: p}})
+	}
+	round2 := &mapreduce.Job[candRec, grid.CellID, candRec, cand]{
+		Config: mapreduce.Config{Name: "knn-candidates", NumReducers: part.NumCells(), Parallelism: cfg.Parallelism},
+		Map: func(rec candRec, emit func(grid.CellID, candRec)) error {
+			if !rec.isOuter {
+				emit(part.CellOf(rec.inner.P), rec)
+				return nil
+			}
+			if rec.outer.radius == unbounded {
+				for c := grid.CellID(0); int(c) < part.NumCells(); c++ {
+					emit(c, rec)
+				}
+				return nil
+			}
+			// All cells whose region comes within the radius bound.
+			probe := geom.Rect{X: rec.outer.pt.P.X, Y: rec.outer.pt.P.Y}
+			part.ForEachSplit(probe.Enlarge(rec.outer.radius), func(c grid.CellID) {
+				if part.CellRect(c).DistToPoint(rec.outer.pt.P) <= rec.outer.radius {
+					emit(c, rec)
+				}
+			})
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition[grid.CellID],
+		Reduce: func(c grid.CellID, recs []candRec, emit func(cand)) error {
+			var outs []boundRec
+			var ins []pointRec
+			for _, rec := range recs {
+				if rec.isOuter {
+					outs = append(outs, rec.outer)
+				} else {
+					ins = append(ins, rec.inner)
+				}
+			}
+			if len(outs) == 0 || len(ins) == 0 {
+				return nil
+			}
+			for _, o := range outs {
+				local := make([]Neighbor, 0, len(ins))
+				for _, in := range ins {
+					d := o.pt.P.Dist(in.P)
+					if o.radius == unbounded || d <= o.radius {
+						local = append(local, Neighbor{ID: in.ID, Dist: d})
+					}
+				}
+				sortNeighbors(local)
+				if len(local) > k {
+					local = local[:k]
+				}
+				for _, n := range local {
+					emit(cand{OuterID: o.pt.ID, N: n})
+				}
+			}
+			return nil
+		},
+	}
+	cands, st2, err := round2.Run(r2input)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Rounds = append(stats.Rounds, st2)
+
+	// ---- round three: merge per outer point ----
+	round3 := &mapreduce.Job[cand, int32, Neighbor, KNNResult]{
+		Config: mapreduce.Config{Name: "knn-merge", NumReducers: min(part.NumCells(), 16), Parallelism: cfg.Parallelism},
+		Map: func(c cand, emit func(int32, Neighbor)) error {
+			emit(c.OuterID, c.N)
+			return nil
+		},
+		Reduce: func(id int32, ns []Neighbor, emit func(KNNResult)) error {
+			sortNeighbors(ns)
+			// A neighbour can arrive from several cells (an inner point
+			// is projected once, but an outer point may meet it in one
+			// cell only — duplicates cannot happen; keep a guard anyway
+			// for clarity of intent).
+			dedup := ns[:0]
+			var last Neighbor
+			for i, n := range ns {
+				if i > 0 && n == last {
+					continue
+				}
+				dedup = append(dedup, n)
+				last = n
+			}
+			if len(dedup) > k {
+				dedup = dedup[:k]
+			}
+			emit(KNNResult{ID: id, Neighbors: append([]Neighbor(nil), dedup...)})
+			return nil
+		},
+	}
+	results, st3, err := round3.Run(cands)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Rounds = append(stats.Rounds, st3)
+
+	sort.Slice(results, func(a, b int) bool { return results[a].ID < results[b].ID })
+	return results, stats, nil
+}
+
+// sortNeighbors orders by ascending distance, ties by ID, for
+// deterministic results.
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].Dist != ns[b].Dist {
+			return ns[a].Dist < ns[b].Dist
+		}
+		return ns[a].ID < ns[b].ID
+	})
+}
+
+// newIndex builds the reducer-local rectangle index used by
+// Containment: a linear scan below the indexing threshold, the bucket
+// grid above it.
+func newIndex(rs []geom.Rect) index.Index {
+	if len(rs) < 16 {
+		return index.NewLinear(rs)
+	}
+	return index.NewGrid(rs)
+}
+
+// BruteForceKNN is the reference kNN join used by tests and tiny
+// inputs.
+func BruteForceKNN(outer, inner PointSet, k int) []KNNResult {
+	results := make([]KNNResult, len(outer.Pts))
+	for i, o := range outer.Pts {
+		ns := make([]Neighbor, len(inner.Pts))
+		for j, in := range inner.Pts {
+			ns[j] = Neighbor{ID: int32(j), Dist: o.Dist(in)}
+		}
+		sortNeighbors(ns)
+		if len(ns) > k {
+			ns = ns[:k]
+		}
+		results[i] = KNNResult{ID: int32(i), Neighbors: append([]Neighbor(nil), ns...)}
+	}
+	return results
+}
+
+// BruteForceContainment is the reference containment query.
+func BruteForceContainment(points PointSet, rects spatial.Relation) []ContainmentPair {
+	var out []ContainmentPair
+	for i, p := range points.Pts {
+		for _, it := range rects.Items {
+			if it.R.ContainsPoint(p) {
+				out = append(out, ContainmentPair{PointID: int32(i), RectID: it.ID})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package pointquery
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/spatial"
+)
+
+func testGrid(t testing.TB, n int, space float64) *grid.Partitioning {
+	t.Helper()
+	p, err := grid.NewUniform(geom.Rect{X: 0, Y: space, L: space, B: space}, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func randPoints(n int, rng *rand.Rand, space float64) PointSet {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * space, Y: rng.Float64() * space}
+	}
+	return PointSet{Name: "pts", Pts: pts}
+}
+
+func randRects(n int, rng *rand.Rand, space, maxDim float64) spatial.Relation {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		rects[i] = geom.Rect{
+			X: rng.Float64() * space,
+			Y: rng.Float64() * space,
+			L: rng.Float64() * maxDim,
+			B: rng.Float64() * maxDim,
+		}
+	}
+	return spatial.NewRelation("rects", rects)
+}
+
+func pairSet(pairs []ContainmentPair) map[ContainmentPair]bool {
+	set := make(map[ContainmentPair]bool, len(pairs))
+	for _, p := range pairs {
+		if set[p] {
+			panic("duplicate containment pair")
+		}
+		set[p] = true
+	}
+	return set
+}
+
+func TestContainmentAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 1))
+	part := testGrid(t, 4, 1000)
+	for trial := 0; trial < 5; trial++ {
+		points := randPoints(300, rng, 1000)
+		rects := randRects(200, rng, 1000, 120)
+		got, stats, err := Containment(points, rects, part, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := BruteForceContainment(points, rects)
+		if !reflect.DeepEqual(pairSet(got), pairSet(want)) {
+			t.Fatalf("trial %d: got %d pairs, want %d", trial, len(got), len(want))
+		}
+		if stats.IntermediatePairs() == 0 {
+			t.Error("no pairs shuffled?")
+		}
+	}
+}
+
+func TestContainmentBoundaryPoints(t *testing.T) {
+	part := testGrid(t, 2, 100)
+	rects := spatial.NewRelation("r", []geom.Rect{{X: 10, Y: 90, L: 10, B: 10}})
+	points := PointSet{Pts: []geom.Point{
+		{X: 10, Y: 90}, // corner
+		{X: 20, Y: 80}, // opposite corner
+		{X: 15, Y: 85}, // interior
+		{X: 25, Y: 85}, // outside
+		{X: 50, Y: 50}, // on a grid cut, outside the rect
+	}}
+	got, _, err := Containment(points, rects, part, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ContainmentPair{{0, 0}, {1, 0}, {2, 0}}
+	if !reflect.DeepEqual(pairSet(got), pairSet(want)) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestContainmentValidation(t *testing.T) {
+	if _, _, err := Containment(PointSet{}, spatial.Relation{}, nil, Config{}); err == nil {
+		t.Error("nil partitioning must fail")
+	}
+}
+
+func knnEqual(t *testing.T, got, want []KNNResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("result %d: ID %d vs %d", i, got[i].ID, want[i].ID)
+		}
+		g, w := got[i].Neighbors, want[i].Neighbors
+		if len(g) != len(w) {
+			t.Fatalf("point %d: %d neighbours, want %d", got[i].ID, len(g), len(w))
+		}
+		for j := range g {
+			// Distances must agree exactly; IDs may differ only on
+			// exact distance ties (the orders are both deterministic,
+			// so require full equality).
+			if g[j] != w[j] {
+				t.Fatalf("point %d neighbour %d: %+v vs %+v", got[i].ID, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+func TestKNNJoinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(62, 2))
+	part := testGrid(t, 4, 1000)
+	for _, k := range []int{1, 3, 10} {
+		outer := randPoints(150, rng, 1000)
+		inner := randPoints(400, rng, 1000)
+		got, stats, err := KNNJoin(outer, inner, k, part, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		knnEqual(t, got, BruteForceKNN(outer, inner, k))
+		if len(stats.Rounds) != 3 {
+			t.Errorf("k=%d: %d rounds, want 3", k, len(stats.Rounds))
+		}
+	}
+}
+
+func TestKNNJoinSparseInner(t *testing.T) {
+	// Fewer inner points than k: every outer point gets all of them,
+	// via the unbounded-radius path.
+	rng := rand.New(rand.NewPCG(63, 3))
+	part := testGrid(t, 4, 1000)
+	outer := randPoints(50, rng, 1000)
+	inner := randPoints(3, rng, 1000)
+	got, _, err := KNNJoin(outer, inner, 8, part, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knnEqual(t, got, BruteForceKNN(outer, inner, 8))
+	for _, r := range got {
+		if len(r.Neighbors) != 3 {
+			t.Fatalf("point %d: %d neighbours, want all 3", r.ID, len(r.Neighbors))
+		}
+	}
+}
+
+func TestKNNJoinClusteredSkew(t *testing.T) {
+	// Outer points far from the inner cluster must still find their
+	// true neighbours (exercises cross-cell radius expansion).
+	part := testGrid(t, 4, 1000)
+	outer := PointSet{Pts: []geom.Point{{X: 10, Y: 10}, {X: 990, Y: 990}, {X: 500, Y: 10}}}
+	var inner PointSet
+	rng := rand.New(rand.NewPCG(64, 4))
+	for i := 0; i < 200; i++ {
+		inner.Pts = append(inner.Pts, geom.Point{X: 480 + rng.Float64()*40, Y: 480 + rng.Float64()*40})
+	}
+	got, _, err := KNNJoin(outer, inner, 5, part, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knnEqual(t, got, BruteForceKNN(outer, inner, 5))
+}
+
+func TestKNNJoinValidation(t *testing.T) {
+	part := testGrid(t, 2, 100)
+	if _, _, err := KNNJoin(PointSet{}, PointSet{}, 0, part, Config{}); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, _, err := KNNJoin(PointSet{}, PointSet{}, 1, nil, Config{}); err == nil {
+		t.Error("nil partitioning must fail")
+	}
+	// Empty outer: empty result, no error.
+	got, _, err := KNNJoin(PointSet{}, randPoints(5, rand.New(rand.NewPCG(1, 1)), 100), 2, part, Config{})
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty outer: %v, %v", got, err)
+	}
+}
+
+func TestBruteForceKNNDeterministicTies(t *testing.T) {
+	// Equidistant neighbours break ties by ID.
+	outer := PointSet{Pts: []geom.Point{{X: 0, Y: 0}}}
+	inner := PointSet{Pts: []geom.Point{{X: 1, Y: 0}, {X: 0, Y: 1}, {X: -1, Y: 0}}}
+	got := BruteForceKNN(outer, inner, 2)
+	if got[0].Neighbors[0].ID != 0 || got[0].Neighbors[1].ID != 1 {
+		t.Errorf("tie break wrong: %+v", got[0].Neighbors)
+	}
+	sorted := sort.SliceIsSorted(got[0].Neighbors, func(a, b int) bool {
+		return got[0].Neighbors[a].ID < got[0].Neighbors[b].ID
+	})
+	if !sorted {
+		t.Error("expected ID order on full tie")
+	}
+}

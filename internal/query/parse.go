@@ -1,0 +1,76 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a query from its textual form: a conjunction of triples
+// separated by "and", where each triple is "<slot> <pred> <slot>" and a
+// predicate is "ov" (or "overlaps") or "ra(<d>)" (or "range(<d>)").
+// Slots are registered in order of first appearance, so
+//
+//	Parse("R1 ov R2 and R2 ra(100) R3")
+//
+// yields slots [R1 R2 R3] with an overlap edge (0,1) and a range-100
+// edge (1,2). Self-joins use distinct slot names bound to one dataset
+// at execution time, e.g. "A ov B and B ov C" for the paper's Q2s.
+func Parse(text string) (*Query, error) {
+	q := New()
+	slot := func(name string) (int, error) {
+		if name == "" {
+			return 0, fmt.Errorf("query: empty slot name in %q", text)
+		}
+		if i := q.SlotIndex(name); i >= 0 {
+			return i, nil
+		}
+		q.slots = append(q.slots, name)
+		return len(q.slots) - 1, nil
+	}
+
+	for _, clause := range strings.Split(text, " and ") {
+		fields := strings.Fields(clause)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("query: clause %q is not of the form '<slot> <pred> <slot>'", strings.TrimSpace(clause))
+		}
+		a, err := slot(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		pred, err := parsePredicate(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		b, err := slot(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		q.On(a, b, pred)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parsePredicate parses "ov", "overlaps", "ra(d)", "range(d)" or
+// "within(d)" (case-insensitive).
+func parsePredicate(s string) (Predicate, error) {
+	lower := strings.ToLower(s)
+	switch lower {
+	case "ov", "overlap", "overlaps":
+		return Ov(), nil
+	}
+	for _, prefix := range []string{"ra(", "range(", "within("} {
+		if strings.HasPrefix(lower, prefix) && strings.HasSuffix(lower, ")") {
+			arg := lower[len(prefix) : len(lower)-1]
+			d, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("query: bad range distance %q in predicate %q", arg, s)
+			}
+			return Ra(d), nil
+		}
+	}
+	return Predicate{}, fmt.Errorf("query: unknown predicate %q (want ov or ra(<d>))", s)
+}

@@ -1,0 +1,275 @@
+// Package refine implements the refinement step of the paper's
+// two-step spatial join pipeline (§1.1): the join algorithms operate on
+// minimum bounding rectangles (the *filter* step, producing a superset
+// of the answer), after which computationally expensive geometric
+// predicates are evaluated on the actual object shapes for exactly the
+// candidate tuples the filter produced.
+//
+// Objects are simple polygons. The package provides the exact
+// predicates matching the query model — polygon overlap and polygon
+// within-distance — plus the Refine driver that prunes a filter-step
+// tuple set down to the exact answer.
+package refine
+
+import (
+	"fmt"
+	"math"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/spatial"
+)
+
+// Polygon is a simple polygon given by its vertices in order (closed
+// implicitly: the last vertex connects back to the first). Vertices may
+// wind in either direction.
+type Polygon []geom.Point
+
+// Validate checks the polygon has at least 3 finite vertices.
+func (p Polygon) Validate() error {
+	if len(p) < 3 {
+		return fmt.Errorf("refine: polygon needs at least 3 vertices, has %d", len(p))
+	}
+	for i, v := range p {
+		if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsInf(v.X, 0) || math.IsInf(v.Y, 0) {
+			return fmt.Errorf("refine: polygon vertex %d is not finite: %v", i, v)
+		}
+	}
+	return nil
+}
+
+// MBR returns the minimum bounding rectangle of the polygon — the
+// representation the filter step joins on (§1.1, Figure 1).
+func (p Polygon) MBR() geom.Rect {
+	if len(p) == 0 {
+		return geom.Rect{}
+	}
+	minX, maxX := p[0].X, p[0].X
+	minY, maxY := p[0].Y, p[0].Y
+	for _, v := range p[1:] {
+		minX = math.Min(minX, v.X)
+		maxX = math.Max(maxX, v.X)
+		minY = math.Min(minY, v.Y)
+		maxY = math.Max(maxY, v.Y)
+	}
+	return geom.RectFromCorners(geom.Point{X: minX, Y: minY}, geom.Point{X: maxX, Y: maxY})
+}
+
+// edge returns the i-th edge of the polygon.
+func (p Polygon) edge(i int) (geom.Point, geom.Point) {
+	return p[i], p[(i+1)%len(p)]
+}
+
+// ContainsPoint reports whether pt lies inside or on the boundary of
+// the polygon (even-odd rule with an explicit boundary test, so
+// touching counts as containment, matching the closed-set semantics of
+// the MBR filter).
+func (p Polygon) ContainsPoint(pt geom.Point) bool {
+	n := len(p)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		a, b := p.edge(i)
+		if pointSegDistSq(pt, a, b) == 0 {
+			return true
+		}
+	}
+	inside := false
+	for i := 0; i < n; i++ {
+		a, b := p.edge(i)
+		if (a.Y > pt.Y) != (b.Y > pt.Y) {
+			xCross := a.X + (pt.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if pt.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Intersects reports whether the two closed polygons share at least one
+// point: an edge crossing, a boundary touch, or full containment of one
+// in the other.
+func Intersects(a, b Polygon) bool {
+	if len(a) < 3 || len(b) < 3 {
+		return false
+	}
+	if !a.MBR().Overlaps(b.MBR()) {
+		return false
+	}
+	for i := range a {
+		a1, a2 := a.edge(i)
+		for j := range b {
+			b1, b2 := b.edge(j)
+			if segmentsIntersect(a1, a2, b1, b2) {
+				return true
+			}
+		}
+	}
+	// No edge crossings: one polygon may contain the other entirely.
+	return a.ContainsPoint(b[0]) || b.ContainsPoint(a[0])
+}
+
+// Dist returns the minimum distance between the two closed polygons; 0
+// when they intersect.
+func Dist(a, b Polygon) float64 {
+	if Intersects(a, b) {
+		return 0
+	}
+	best := math.Inf(1)
+	for i := range a {
+		a1, a2 := a.edge(i)
+		for j := range b {
+			b1, b2 := b.edge(j)
+			if d := segSegDistSq(a1, a2, b1, b2); d < best {
+				best = d
+			}
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// WithinDist reports whether the minimum distance between the polygons
+// is at most d.
+func WithinDist(a, b Polygon, d float64) bool {
+	if d < 0 {
+		return false
+	}
+	return Dist(a, b) <= d
+}
+
+// cross returns the z component of (b−a) × (c−a).
+func cross(a, b, c geom.Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether c (known collinear with a–b) lies on the
+// closed segment a–b.
+func onSegment(a, b, c geom.Point) bool {
+	return math.Min(a.X, b.X) <= c.X && c.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= c.Y && c.Y <= math.Max(a.Y, b.Y)
+}
+
+// segmentsIntersect reports whether closed segments a1–a2 and b1–b2
+// share a point, handling collinear overlap and endpoint touching.
+func segmentsIntersect(a1, a2, b1, b2 geom.Point) bool {
+	d1 := cross(b1, b2, a1)
+	d2 := cross(b1, b2, a2)
+	d3 := cross(a1, a2, b1)
+	d4 := cross(a1, a2, b2)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(b1, b2, a1):
+		return true
+	case d2 == 0 && onSegment(b1, b2, a2):
+		return true
+	case d3 == 0 && onSegment(a1, a2, b1):
+		return true
+	case d4 == 0 && onSegment(a1, a2, b2):
+		return true
+	}
+	return false
+}
+
+// pointSegDistSq returns the squared distance from p to the closed
+// segment a–b.
+func pointSegDistSq(p, a, b geom.Point) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	apx, apy := p.X-a.X, p.Y-a.Y
+	lenSq := abx*abx + aby*aby
+	t := 0.0
+	if lenSq > 0 {
+		t = (apx*abx + apy*aby) / lenSq
+		t = math.Max(0, math.Min(1, t))
+	}
+	dx := p.X - (a.X + t*abx)
+	dy := p.Y - (a.Y + t*aby)
+	return dx*dx + dy*dy
+}
+
+// segSegDistSq returns the squared distance between two closed,
+// non-intersecting segments: the minimum of the four endpoint-to-
+// segment distances.
+func segSegDistSq(a1, a2, b1, b2 geom.Point) float64 {
+	return math.Min(
+		math.Min(pointSegDistSq(a1, b1, b2), pointSegDistSq(a2, b1, b2)),
+		math.Min(pointSegDistSq(b1, a1, a2), pointSegDistSq(b2, a1, a2)),
+	)
+}
+
+// Object is one polygonal spatial object.
+type Object struct {
+	ID   int32
+	Poly Polygon
+}
+
+// Layer is a named dataset of polygonal objects — the exact-geometry
+// counterpart of spatial.Relation.
+type Layer struct {
+	Name    string
+	Objects []Object
+}
+
+// NewLayer builds a layer whose object IDs are the polygon indices; it
+// validates every polygon.
+func NewLayer(name string, polys []Polygon) (Layer, error) {
+	l := Layer{Name: name, Objects: make([]Object, len(polys))}
+	for i, p := range polys {
+		if err := p.Validate(); err != nil {
+			return Layer{}, fmt.Errorf("refine: layer %q object %d: %w", name, i, err)
+		}
+		l.Objects[i] = Object{ID: int32(i), Poly: p}
+	}
+	return l, nil
+}
+
+// FilterRelation derives the MBR relation the filter step joins on.
+// Object i's rectangle ID equals its object ID, so filter tuples index
+// directly back into the layer.
+func (l Layer) FilterRelation() spatial.Relation {
+	rects := make([]geom.Rect, len(l.Objects))
+	for i, o := range l.Objects {
+		rects[i] = o.Poly.MBR()
+	}
+	return spatial.NewRelation(l.Name, rects)
+}
+
+// Refine evaluates the exact predicates of the query on the polygons of
+// every candidate tuple and keeps exactly those satisfying all of them
+// (§1.1: "for each pair of MBRs output by the filter step, the
+// refinement step checks whether the two objects actually satisfy the
+// predicate"). layers[i] binds query slot i, like the filter
+// relations.
+func Refine(q *query.Query, layers []Layer, candidates []spatial.Tuple) ([]spatial.Tuple, error) {
+	if len(layers) != q.NumSlots() {
+		return nil, fmt.Errorf("refine: query has %d slots but %d layers were bound", q.NumSlots(), len(layers))
+	}
+	edges := q.Edges()
+	var out []spatial.Tuple
+	for _, t := range candidates {
+		if len(t.IDs) != len(layers) {
+			return nil, fmt.Errorf("refine: tuple %v does not match the query arity %d", t, len(layers))
+		}
+		ok := true
+		for _, e := range edges {
+			pa := layers[e.A].Objects[t.IDs[e.A]].Poly
+			pb := layers[e.B].Objects[t.IDs[e.B]].Poly
+			if e.Pred.Kind == query.Overlap {
+				ok = Intersects(pa, pb)
+			} else {
+				ok = WithinDist(pa, pb, e.Pred.D)
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

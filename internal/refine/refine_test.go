@@ -1,0 +1,263 @@
+package refine
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/spatial"
+)
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+// square returns an axis-aligned square polygon with corner (x, y) and
+// side s (growing right and up).
+func square(x, y, s float64) Polygon {
+	return Polygon{pt(x, y), pt(x+s, y), pt(x+s, y+s), pt(x, y+s)}
+}
+
+// triangle returns a right triangle at (x, y).
+func triangle(x, y, s float64) Polygon {
+	return Polygon{pt(x, y), pt(x+s, y), pt(x, y+s)}
+}
+
+func TestValidate(t *testing.T) {
+	if err := square(0, 0, 1).Validate(); err != nil {
+		t.Errorf("square invalid: %v", err)
+	}
+	if err := (Polygon{pt(0, 0), pt(1, 1)}).Validate(); err == nil {
+		t.Error("2-vertex polygon must fail")
+	}
+	if err := (Polygon{pt(0, 0), pt(1, 1), pt(math.NaN(), 0)}).Validate(); err == nil {
+		t.Error("NaN vertex must fail")
+	}
+}
+
+func TestMBR(t *testing.T) {
+	p := Polygon{pt(2, 1), pt(6, 3), pt(4, 7)}
+	want := geom.RectFromCorners(pt(2, 1), pt(6, 7))
+	if got := p.MBR(); got != want {
+		t.Errorf("MBR = %v, want %v", got, want)
+	}
+	if got := (Polygon{}).MBR(); got != (geom.Rect{}) {
+		t.Errorf("empty MBR = %v", got)
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	tri := triangle(0, 0, 10)
+	tests := []struct {
+		p    geom.Point
+		want bool
+	}{
+		{pt(1, 1), true},      // interior
+		{pt(0, 0), true},      // vertex
+		{pt(5, 0), true},      // edge
+		{pt(5, 5), true},      // hypotenuse
+		{pt(6, 6), false},     // beyond hypotenuse
+		{pt(-1, 5), false},    // left
+		{pt(20, 20), false},   // far
+		{pt(4.9, 4.9), true},  // just inside hypotenuse
+		{pt(5.1, 5.1), false}, // just outside
+	}
+	for _, tt := range tests {
+		if got := tri.ContainsPoint(tt.p); got != tt.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Concave polygon (L-shape): the notch is outside.
+	ell := Polygon{pt(0, 0), pt(4, 0), pt(4, 2), pt(2, 2), pt(2, 4), pt(0, 4)}
+	if !ell.ContainsPoint(pt(1, 3)) || !ell.ContainsPoint(pt(3, 1)) {
+		t.Error("L-shape interior misclassified")
+	}
+	if ell.ContainsPoint(pt(3, 3)) {
+		t.Error("L-shape notch must be outside")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Polygon
+		want bool
+	}{
+		{"overlapping squares", square(0, 0, 4), square(2, 2, 4), true},
+		{"touching edges", square(0, 0, 4), square(4, 0, 4), true},
+		{"touching corners", square(0, 0, 4), square(4, 4, 4), true},
+		{"disjoint", square(0, 0, 4), square(5, 5, 4), false},
+		{"contained", square(0, 0, 10), square(3, 3, 2), true},
+		{"containing triangle", triangle(0, 0, 20), square(1, 1, 2), true},
+		// MBRs overlap but the shapes do not: a triangle's empty
+		// corner versus a small square — the filter/refine gap.
+		{"mbr-only overlap", triangle(0, 0, 10), square(8, 8, 1.5), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Intersects(tt.a, tt.b); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			if got := Intersects(tt.b, tt.a); got != tt.want {
+				t.Error("Intersects is not symmetric")
+			}
+			// Exact intersection implies MBR overlap (filter safety).
+			if tt.want && !tt.a.MBR().Overlaps(tt.b.MBR()) {
+				t.Error("intersecting polygons must have overlapping MBRs")
+			}
+		})
+	}
+}
+
+func TestDist(t *testing.T) {
+	a := square(0, 0, 2)
+	tests := []struct {
+		b    Polygon
+		want float64
+	}{
+		{square(1, 1, 2), 0},    // overlap
+		{square(2, 0, 2), 0},    // touch
+		{square(5, 0, 2), 3},    // right gap
+		{square(5, 6, 2), 5},    // diagonal 3-4-5
+		{triangle(4, -1, 1), 2}, // triangle to the right
+	}
+	for _, tt := range tests {
+		if got := Dist(a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Dist(%v) = %v, want %v", tt.b, got, tt.want)
+		}
+	}
+	if !WithinDist(a, square(5, 0, 2), 3) || WithinDist(a, square(5, 0, 2), 2.9) {
+		t.Error("WithinDist threshold wrong")
+	}
+	if WithinDist(a, a, -1) {
+		t.Error("negative d must be false")
+	}
+	// Exact distance is never below the MBR distance (filter safety).
+	if Dist(a, square(5, 6, 2)) < a.MBR().Dist(square(5, 6, 2).MBR()) {
+		t.Error("polygon distance below MBR distance")
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	tests := []struct {
+		a1, a2, b1, b2 geom.Point
+		want           bool
+	}{
+		{pt(0, 0), pt(4, 4), pt(0, 4), pt(4, 0), true},  // proper cross
+		{pt(0, 0), pt(4, 0), pt(2, 0), pt(6, 0), true},  // collinear overlap
+		{pt(0, 0), pt(4, 0), pt(5, 0), pt(8, 0), false}, // collinear disjoint
+		{pt(0, 0), pt(4, 0), pt(4, 0), pt(8, 3), true},  // endpoint touch
+		{pt(0, 0), pt(4, 0), pt(2, 1), pt(6, 5), false}, // above
+		{pt(0, 0), pt(0, 0), pt(0, 0), pt(1, 1), true},  // degenerate point on segment
+	}
+	for _, tt := range tests {
+		if got := segmentsIntersect(tt.a1, tt.a2, tt.b1, tt.b2); got != tt.want {
+			t.Errorf("segmentsIntersect(%v,%v,%v,%v) = %v, want %v", tt.a1, tt.a2, tt.b1, tt.b2, got, tt.want)
+		}
+	}
+}
+
+func TestNewLayerAndFilterRelation(t *testing.T) {
+	l, err := NewLayer("parks", []Polygon{square(0, 0, 2), triangle(5, 5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := l.FilterRelation()
+	if rel.Name != "parks" || len(rel.Items) != 2 {
+		t.Fatalf("FilterRelation = %+v", rel)
+	}
+	if rel.Items[1].R != (geom.Rect{X: 5, Y: 8, L: 3, B: 3}) {
+		t.Errorf("triangle MBR = %v", rel.Items[1].R)
+	}
+	if _, err := NewLayer("bad", []Polygon{{pt(0, 0)}}); err == nil {
+		t.Error("invalid polygon must fail layer construction")
+	}
+}
+
+// TestRefinePrunesFilterFalsePositives is the §1.1 pipeline end to end:
+// the MBR filter keeps a tuple whose polygons do not actually
+// intersect; Refine drops it.
+func TestRefinePrunesFilterFalsePositives(t *testing.T) {
+	// Triangle occupying the lower-left half of its MBR, plus a small
+	// square tucked into the triangle's empty upper-right MBR corner.
+	tri, _ := NewLayer("A", []Polygon{triangle(0, 0, 10)})
+	sq, _ := NewLayer("B", []Polygon{square(8, 8, 1.5), square(1, 1, 1)})
+	q := query.New("A", "B").Overlap(0, 1)
+
+	filterRes, err := spatial.Execute(spatial.BruteForce, q,
+		[]spatial.Relation{tri.FilterRelation(), sq.FilterRelation()}, spatial.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filter keeps both squares: MBRs overlap in both cases.
+	if len(filterRes.Tuples) != 2 {
+		t.Fatalf("filter tuples = %v, want 2 candidates", filterRes.Tuples)
+	}
+
+	exact, err := Refine(q, []Layer{tri, sq}, filterRes.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 1 || !reflect.DeepEqual(exact[0].IDs, []int32{0, 1}) {
+		t.Fatalf("refined tuples = %v, want only (0, 1)", exact)
+	}
+}
+
+func TestRefineRangeAndErrors(t *testing.T) {
+	a, _ := NewLayer("A", []Polygon{triangle(0, 0, 4)})
+	b, _ := NewLayer("B", []Polygon{square(6, 0, 2), square(20, 0, 2)})
+	q := query.New("A", "B").Range(0, 1, 3)
+	cands := []spatial.Tuple{{IDs: []int32{0, 0}}, {IDs: []int32{0, 1}}}
+	got, err := Refine(q, []Layer{a, b}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triangle right edge ends at x=4; square at x=6 → gap 2 ≤ 3; the
+	// far square is out of range.
+	if len(got) != 1 || got[0].IDs[1] != 0 {
+		t.Fatalf("refined = %v", got)
+	}
+
+	if _, err := Refine(q, []Layer{a}, cands); err == nil {
+		t.Error("layer/slot mismatch must fail")
+	}
+	if _, err := Refine(q, []Layer{a, b}, []spatial.Tuple{{IDs: []int32{0}}}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+// TestPropExactImpliesFilter: on random polygons, every exactly-
+// intersecting pair must be caught by the MBR filter, and the exact
+// distance must dominate the MBR distance.
+func TestPropExactImpliesFilter(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 2))
+	randPoly := func() Polygon {
+		cx, cy := rng.Float64()*40, rng.Float64()*40
+		n := 3 + rng.IntN(5)
+		p := make(Polygon, n)
+		for i := range p {
+			// Star-shaped construction: vertices at increasing angles,
+			// random radii — always a simple polygon.
+			ang := 2 * math.Pi * (float64(i) + rng.Float64()*0.8) / float64(n)
+			r := 1 + rng.Float64()*6
+			p[i] = pt(cx+r*math.Cos(ang), cy+r*math.Sin(ang))
+		}
+		return p
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randPoly(), randPoly()
+		inter := Intersects(a, b)
+		mbrOverlap := a.MBR().Overlaps(b.MBR())
+		if inter && !mbrOverlap {
+			t.Fatalf("trial %d: polygons intersect but MBRs do not\na=%v\nb=%v", trial, a, b)
+		}
+		d := Dist(a, b)
+		if md := a.MBR().Dist(b.MBR()); d < md-1e-9 {
+			t.Fatalf("trial %d: exact dist %v below MBR dist %v", trial, d, md)
+		}
+		if inter != (d == 0) {
+			t.Fatalf("trial %d: Intersects=%v but Dist=%v", trial, inter, d)
+		}
+	}
+}

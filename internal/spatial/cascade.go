@@ -1,0 +1,239 @@
+package spatial
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/sweep"
+)
+
+// cascade runs the 2-way Cascade baseline (§6.1): the multi-way query
+// is evaluated as a left-deep sequence of 2-way map-reduce joins in the
+// plan's slot order, with every intermediate result materialised on the
+// simulated DFS and read back by the next job — the reading/writing
+// cost §6.4 blames for this method's poor performance.
+//
+// Each step joins the current partial tuples with the next slot's base
+// relation along one connecting edge (the plan's primary edge, §5
+// style: split the relation; split the — possibly d-enlarged — tuple
+// key rectangle), verifies any further connecting edges as filters, and
+// de-duplicates with the §5.2/§5.3 rule: the cell containing the
+// start-point of the intersection between the (enlarged) key rectangle
+// and the new rectangle reports the pair.
+type cascadeRecord struct {
+	// Exactly one of tuple / item is meaningful; isTuple selects it.
+	isTuple bool
+	tuple   partial
+	item    tagged
+}
+
+func cascade(pl *plan, exec *executor) (*Result, error) {
+	start := time.Now()
+
+	countOnly := exec.cfg.CountOnly
+	if pl.m == 1 {
+		// A single-slot query has no join to cascade: emit everything.
+		items, err := exec.loadRelation(0)
+		if err != nil {
+			return nil, err
+		}
+		var tuples []Tuple
+		if !countOnly {
+			tuples = make([]Tuple, len(items))
+			for i, it := range items {
+				tuples[i] = Tuple{IDs: []int32{it.ID}}
+			}
+		}
+		return &Result{Tuples: tuples, Stats: Stats{
+			Method: Cascade, OutputTuples: int64(len(items)), Wall: time.Since(start),
+		}}, nil
+	}
+
+	// Current partial tuples over plan.order[:p], starting with the
+	// first slot's items as 1-member partials.
+	firstItems, err := exec.loadRelation(pl.order[0])
+	if err != nil {
+		return nil, err
+	}
+	current := make([]partial, len(firstItems))
+	for i, it := range firstItems {
+		current[i] = partial{IDs: []int32{it.ID}, Rects: []geom.Rect{it.Rect}}
+	}
+
+	var rounds []*mapreduce.Stats
+	var counted atomic.Int64
+	for p := 1; p < pl.m; p++ {
+		newSlot := pl.order[p]
+		// On the final step with CountOnly, tuples are counted at the
+		// reducers instead of materialised and staged.
+		discard := countOnly && p == pl.m-1
+		edges := pl.edgesToPrev[p]
+		primary := edges[pl.primary[p]]
+		// Position (within the partial) of the primary edge's bound
+		// endpoint.
+		keyPos := planPos(pl, primary.Other(newSlot))
+		d := primary.Pred.Weight()
+
+		items, err := exec.loadRelation(newSlot)
+		if err != nil {
+			return nil, err
+		}
+		input := make([]cascadeRecord, 0, len(current)+len(items))
+		for _, t := range current {
+			input = append(input, cascadeRecord{isTuple: true, tuple: t})
+		}
+		for _, it := range items {
+			input = append(input, cascadeRecord{item: it})
+		}
+
+		job := &mapreduce.Job[cascadeRecord, grid.CellID, cascadeRecord, partial]{
+			Config: exec.jobConfig(fmt.Sprintf("cascade-%d-%s", p, pl.q.Slots()[newSlot])),
+			Map: func(rec cascadeRecord, emit func(grid.CellID, cascadeRecord)) error {
+				if rec.isTuple {
+					key := rec.tuple.Rects[keyPos]
+					if d > 0 {
+						key = key.Enlarge(d)
+					}
+					exec.part.ForEachSplit(key, func(c grid.CellID) { emit(c, rec) })
+				} else {
+					exec.part.ForEachSplit(rec.item.Rect, func(c grid.CellID) { emit(c, rec) })
+				}
+				return nil
+			},
+			Partition: mapreduce.IdentityPartition[grid.CellID],
+			Reduce:    cascadeReduce(pl, exec.part, newSlot, keyPos, edges, primary, discard, &counted),
+			PairBytes: func(_ grid.CellID, rec cascadeRecord) int {
+				if rec.isTuple {
+					return 4 + encodedPartialBytes(len(rec.tuple.IDs))
+				}
+				return 4 + itemRecordBytes
+			},
+		}
+		out, st, err := job.Run(input)
+		if err != nil {
+			return nil, err
+		}
+		rounds = append(rounds, st)
+
+		if discard {
+			current = nil
+			continue
+		}
+		// Materialise the intermediate (or final) result on the DFS
+		// and read it back for the next step — the cascade's defining
+		// cost.
+		current, err = exec.stagePartials(fmt.Sprintf("tmp/cascade-step-%d", p), out)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Convert plan-ordered partials to slot-ordered tuples.
+	var tuples []Tuple
+	if !countOnly {
+		tuples = make([]Tuple, len(current))
+		for i, t := range current {
+			ids := make([]int32, pl.m)
+			for pos, slot := range pl.order {
+				ids[slot] = t.IDs[pos]
+			}
+			tuples[i] = Tuple{IDs: ids}
+		}
+		counted.Store(int64(len(tuples)))
+	}
+	return &Result{Tuples: tuples, Stats: Stats{
+		Method:       Cascade,
+		Rounds:       rounds,
+		OutputTuples: counted.Load(),
+		Wall:         time.Since(start),
+	}}, nil
+}
+
+// cascadeReduce joins the partial tuples and new-slot items delivered
+// to one cell with a forward plane sweep over the tuples' key
+// rectangles and the items — the classic SJMR-style in-reducer join
+// (§5).
+func cascadeReduce(pl *plan, part *grid.Partitioning, newSlot, keyPos int, edges []query.Edge, primary query.Edge, discard bool, counted *atomic.Int64) func(grid.CellID, []cascadeRecord, func(partial)) error {
+	d := primary.Pred.Weight()
+	return func(c grid.CellID, recs []cascadeRecord, emit func(partial)) error {
+		var tuples []partial
+		var keys []geom.Rect
+		var ids []int32
+		var rects []geom.Rect
+		for _, rec := range recs {
+			if rec.isTuple {
+				tuples = append(tuples, rec.tuple)
+				keys = append(keys, rec.tuple.Rects[keyPos])
+			} else {
+				ids = append(ids, rec.item.ID)
+				rects = append(rects, rec.item.Rect)
+			}
+		}
+		if len(tuples) == 0 || len(ids) == 0 {
+			return nil
+		}
+		sweep.Join(keys, rects, d, func(i, j int) bool {
+			t := tuples[i]
+			if !cascadeAccepts(pl, t, newSlot, ids[j], rects[j], edges, primary) {
+				return true
+			}
+			// §5.2/§5.3 duplicate avoidance: only the cell owning the
+			// start-point of enlKey ∩ item computes the pair.
+			enlKey := keys[i]
+			if d > 0 {
+				enlKey = enlKey.Enlarge(d)
+			}
+			inter, ok := enlKey.Intersection(rects[j])
+			if !ok || part.CellOf(inter.Start()) != c {
+				return true
+			}
+			if discard {
+				counted.Add(1)
+				return true
+			}
+			emit(partial{
+				IDs:   append(append([]int32(nil), t.IDs...), ids[j]),
+				Rects: append(append([]geom.Rect(nil), t.Rects...), rects[j]),
+			})
+			return true
+		})
+		return nil
+	}
+}
+
+// cascadeAccepts verifies the non-primary connecting edges and
+// self-join distinctness for appending item (id, r) to partial t.
+func cascadeAccepts(pl *plan, t partial, newSlot int, id int32, r geom.Rect, edges []query.Edge, primary query.Edge) bool {
+	for _, e := range edges {
+		if e == primary {
+			continue // guaranteed by the index probe
+		}
+		pos := planPos(pl, e.Other(newSlot))
+		if !e.Pred.Eval(r, t.Rects[pos]) {
+			return false
+		}
+	}
+	if pl.distinct {
+		for pos, slot := range pl.order[:len(t.IDs)] {
+			if !pl.compatible(slot, t.IDs[pos], newSlot, id) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// planPos returns the position of slot within the plan order.
+func planPos(pl *plan, slot int) int {
+	for pos, s := range pl.order {
+		if s == slot {
+			return pos
+		}
+	}
+	panic(fmt.Sprintf("spatial: slot %d not in plan order %v", slot, pl.order))
+}

@@ -1,0 +1,191 @@
+package spatial
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/mapreduce"
+)
+
+// allReplicate runs the naive one-round All-Replicate baseline (§6.1):
+// every rectangle of every relation is replicated to all reducers in
+// its 4th quadrant (replication function f1), and each reducer computes
+// the multi-way join on what it received, de-duplicated with the §6.2
+// point rule.
+func allReplicate(pl *plan, exec *executor) (*Result, error) {
+	start := time.Now()
+	input, err := exec.loadAllRelations()
+	if err != nil {
+		return nil, err
+	}
+
+	var replicated, afterReplication, counted atomic.Int64
+	job := &mapreduce.Job[tagged, grid.CellID, tagged, Tuple]{
+		Config: exec.jobConfig("all-replicate"),
+		Map: func(it tagged, emit func(grid.CellID, tagged)) error {
+			replicated.Add(1)
+			exec.part.ForEachFourthQuadrant(it.Rect, func(c grid.CellID) {
+				afterReplication.Add(1)
+				emit(c, it)
+			})
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition[grid.CellID],
+		Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted),
+		PairBytes: taggedPairBytes,
+	}
+	tuples, st, err := job.Run(input)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Tuples: tuples}
+	res.Stats = Stats{
+		Method:                     AllReplicate,
+		Rounds:                     []*mapreduce.Stats{st},
+		RectanglesReplicated:       replicated.Load(),
+		RectanglesAfterReplication: afterReplication.Load(),
+		ReplicationCopies:          afterReplication.Load(),
+		OutputTuples:               counted.Load(),
+		Wall:                       time.Since(start),
+	}
+	return res, nil
+}
+
+// controlledReplicate runs the paper's Controlled-Replicate framework
+// (§7) and, when limit is true, Controlled-Replicate-in-Limit (§7.9):
+// round one splits every relation and marks the rectangles satisfying
+// conditions C1–C4; round two replicates only the marked rectangles
+// (f1, or f2 bounded by the per-relation radius for C-Rep-L), projects
+// the rest, and joins.
+func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) {
+	start := time.Now()
+	input, err := exec.loadAllRelations()
+	if err != nil {
+		return nil, err
+	}
+
+	method := ControlledReplicate
+	var bounds []float64
+	if limit {
+		method = ControlledReplicateLimit
+		dmax := make([]float64, pl.m)
+		for s, rel := range exec.rels {
+			dmax[s] = rel.MaxDiagonal()
+		}
+		bounds, err = pl.q.ReplicationBounds(dmax)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- round one: split everything, decide replication ----
+	round1 := &mapreduce.Job[tagged, grid.CellID, tagged, tagged]{
+		Config: exec.jobConfig(fmt.Sprintf("%s-mark", method)),
+		Map: func(it tagged, emit func(grid.CellID, tagged)) error {
+			exec.part.ForEachSplit(it.Rect, func(c grid.CellID) { emit(c, it) })
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition[grid.CellID],
+		Reduce: func(c grid.CellID, items []tagged, emit func(tagged)) error {
+			cd := newCellData(pl.m, items)
+			marked := markCell(pl, exec.part, c, cd)
+			// Output each rectangle from its start cell only, so every
+			// rectangle enters round two exactly once.
+			for s := 0; s < pl.m; s++ {
+				for j, id := range cd.ids[s] {
+					r := cd.rects[s][j]
+					if exec.part.Project(r) != c {
+						continue
+					}
+					emit(tagged{Slot: int8(s), ID: id, Rect: r, Marked: marked[s][j]})
+				}
+			}
+			return nil
+		},
+		PairBytes: taggedPairBytes,
+	}
+	markedItems, st1, err := round1.Run(input)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialise the round-one output on the DFS and read it back, as
+	// a chained Hadoop job would (this is the small read/write cost
+	// C-Rep pays that §7.1 contrasts with Cascade's).
+	staged, err := exec.stageTagged(fmt.Sprintf("tmp/%s-marked", method), markedItems)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- round two: replicate marked, project the rest, join ----
+	var replicated, afterReplication, counted atomic.Int64
+	round2 := &mapreduce.Job[tagged, grid.CellID, tagged, Tuple]{
+		Config: exec.jobConfig(fmt.Sprintf("%s-join", method)),
+		Map: func(it tagged, emit func(grid.CellID, tagged)) error {
+			if !it.Marked {
+				emit(exec.part.Project(it.Rect), it)
+				return nil
+			}
+			replicated.Add(1)
+			send := func(c grid.CellID) {
+				afterReplication.Add(1)
+				emit(c, it)
+			}
+			if limit {
+				exec.part.ForEachReplicateF2(it.Rect, bounds[it.Slot], exec.metric, send)
+			} else {
+				exec.part.ForEachFourthQuadrant(it.Rect, send)
+			}
+			return nil
+		},
+		Partition: mapreduce.IdentityPartition[grid.CellID],
+		Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted),
+		PairBytes: taggedPairBytes,
+	}
+	tuples, st2, err := round2.Run(staged)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Tuples: tuples}
+	res.Stats = Stats{
+		Method:               method,
+		Rounds:               []*mapreduce.Stats{st1, st2},
+		RectanglesReplicated: replicated.Load(),
+		// The paper's parenthesised §7.8.3 metric counts every
+		// rectangle copy communicated to the join round's reducers —
+		// projections of unmarked rectangles included (the published
+		// numbers only reconcile under that reading: e.g. Table 2,
+		// nI=1 reports 3.9M for 3M input rectangles of which 0.05M
+		// were marked).
+		RectanglesAfterReplication: st2.IntermediatePairs,
+		ReplicationCopies:          afterReplication.Load(),
+		OutputTuples:               counted.Load(),
+		Wall:                       time.Since(start),
+	}
+	return res, nil
+}
+
+// joinReduce builds the reducer shared by All-Replicate and C-Rep round
+// two: group the received rectangles by slot, enumerate matching
+// assignments, and emit exactly the tuples whose §6.2
+// duplicate-avoidance point falls in this reducer's cell. Every emitted
+// tuple also bumps counted; with countOnly the tuple itself is dropped.
+func joinReduce(pl *plan, part *grid.Partitioning, countOnly bool, counted *atomic.Int64) func(grid.CellID, []tagged, func(Tuple)) error {
+	return func(c grid.CellID, items []tagged, emit func(Tuple)) error {
+		cd := newCellData(pl.m, items)
+		pl.matchInCell(cd, part, c, func(assign []int) {
+			counted.Add(1)
+			if !countOnly {
+				emit(tupleOf(cd, assign))
+			}
+		})
+		return nil
+	}
+}
+
+// taggedPairBytes sizes an intermediate (cell, item) pair: 4 bytes of
+// key plus the 38-byte item record.
+func taggedPairBytes(_ grid.CellID, _ tagged) int { return 4 + itemRecordBytes }

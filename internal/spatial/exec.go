@@ -1,0 +1,301 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+
+	"mwsjoin/internal/estimate"
+
+	"mwsjoin/internal/dfs"
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/query"
+)
+
+// Config tunes a join execution.
+type Config struct {
+	// Part is the reducer grid (§5.1: one reducer per cell). When nil,
+	// DefaultPartitioning over the data bounds with 64 reducers (8×8,
+	// §7.8.1) is used.
+	Part *grid.Partitioning
+	// Parallelism and NumMappers pass through to the engine; zero
+	// values use the engine defaults.
+	Parallelism int
+	NumMappers  int
+	// LimitMetric is the cell-distance metric for C-Rep-L (DESIGN.md
+	// §3.2). The zero value is the provably safe Chebyshev metric;
+	// grid.MetricEuclidean reproduces the paper's bound exactly.
+	LimitMetric grid.Metric
+	// AllowSelfPairs permits one rectangle to occupy several slots of
+	// a self-join; by default tuples bind distinct rectangles to slots
+	// sharing a dataset (the paper's "road triples").
+	AllowSelfPairs bool
+	// UseRTree switches the reducer-local index from the bucket grid
+	// to the STR R-tree (ablation knob).
+	UseRTree bool
+	// FS is the simulated distributed file system; a private one is
+	// created when nil.
+	FS *dfs.FS
+	// MaxAttempts and FailMap pass fault injection through to every
+	// job (see mapreduce.Config).
+	MaxAttempts int
+	FailMap     func(mapper, attempt int) bool
+	// OptimizeOrder replaces the default connectivity join order with a
+	// cost-based one derived from sampling estimates (footnote 1 of the
+	// paper assumes Cascade runs its 2-way joins in the optimal order).
+	// It affects the Cascade job sequence and the backtracking order of
+	// every reducer-local matcher; results are unchanged.
+	OptimizeOrder bool
+	// CountOnly suppresses materialisation of the output tuples:
+	// Result.Tuples stays nil while Stats.OutputTuples still reports
+	// the exact count. Used by the benchmark harness, whose dense
+	// sweeps produce hundreds of millions of tuples.
+	CountOnly bool
+}
+
+// DefaultPartitioning builds the paper's experimental grid over the
+// bounding box of the given relations: √k × √k cells for k reducers
+// (§5.1), defaulting to 64 reducers (§7.8.1) when k ≤ 0. k must be a
+// perfect square.
+func DefaultPartitioning(rels []Relation, k int) (*grid.Partitioning, error) {
+	if k <= 0 {
+		k = 64
+	}
+	side := int(math.Round(math.Sqrt(float64(k))))
+	if side*side != k {
+		return nil, fmt.Errorf("spatial: reducer count %d is not a perfect square", k)
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	any := false
+	for _, rel := range rels {
+		for _, it := range rel.Items {
+			any = true
+			minX = math.Min(minX, it.R.MinX())
+			minY = math.Min(minY, it.R.MinY())
+			maxX = math.Max(maxX, it.R.MaxX())
+			maxY = math.Max(maxY, it.R.MaxY())
+		}
+	}
+	if !any {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	return grid.NewUniform(geom.RectFromCorners(geom.Point{X: minX, Y: minY}, geom.Point{X: maxX, Y: maxY}), side, side)
+}
+
+// executor carries the per-execution context shared by the methods.
+type executor struct {
+	part   *grid.Partitioning
+	rels   []Relation
+	fs     *dfs.FS
+	cfg    Config
+	metric grid.Metric
+}
+
+// Execute runs the query bound to the given relations (rels[i] binds
+// query slot i) with the chosen method and returns the tuples plus cost
+// statistics. All methods return the same tuple set.
+func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Result, error) {
+	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.OptimizeOrder {
+		pl.optimizeOrder(rels, estimate.NewSampler(0, 2013))
+	}
+	for s, rel := range rels {
+		for _, it := range rel.Items {
+			if err := it.R.Validate(); err != nil {
+				return nil, fmt.Errorf("spatial: relation %q (slot %d) item %d: %w", rel.Name, s, it.ID, err)
+			}
+		}
+	}
+	part := cfg.Part
+	if part == nil {
+		if part, err = DefaultPartitioning(rels, 0); err != nil {
+			return nil, err
+		}
+	}
+	fs := cfg.FS
+	if fs == nil {
+		fs = dfs.New(0)
+	}
+	exec := &executor{part: part, rels: rels, fs: fs, cfg: cfg, metric: cfg.LimitMetric}
+
+	before := fs.Stats()
+	if err := exec.stageInputs(); err != nil {
+		return nil, err
+	}
+
+	var res *Result
+	switch method {
+	case BruteForce:
+		res, err = bruteForce(pl, rels, cfg.CountOnly)
+	case Cascade:
+		res, err = cascade(pl, exec)
+	case AllReplicate:
+		res, err = allReplicate(pl, exec)
+	case ControlledReplicate:
+		res, err = controlledReplicate(pl, exec, false)
+	case ControlledReplicateLimit:
+		res, err = controlledReplicate(pl, exec, true)
+	default:
+		err = fmt.Errorf("spatial: unknown method %v", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.DFS = statsDelta(before, fs.Stats())
+	return res, nil
+}
+
+// jobConfig builds the engine config for one job of this execution.
+func (e *executor) jobConfig(name string) mapreduce.Config {
+	return mapreduce.Config{
+		Name:        name,
+		NumReducers: e.part.NumCells(),
+		NumMappers:  e.cfg.NumMappers,
+		Parallelism: e.cfg.Parallelism,
+		MaxAttempts: e.cfg.MaxAttempts,
+		FailMap:     e.cfg.FailMap,
+	}
+}
+
+// inputFile names the staged DFS file of a relation.
+func inputFile(name string) string { return "input/" + name }
+
+// stageInputs writes each distinct relation to the DFS once, as the
+// job input all methods read from.
+func (e *executor) stageInputs() error {
+	staged := map[string]bool{}
+	for _, rel := range e.rels {
+		if staged[rel.Name] {
+			continue
+		}
+		staged[rel.Name] = true
+		name := inputFile(rel.Name)
+		if e.fs.Exists(name) {
+			// Pre-staged by a caller reusing the FS across runs; guard
+			// against silently joining stale data under a reused name.
+			if _, records, err := e.fs.Size(name); err != nil {
+				return err
+			} else if records != int64(len(rel.Items)) {
+				return fmt.Errorf("spatial: staged relation %q has %d records but %d items were bound; use a fresh FS or distinct relation names", rel.Name, records, len(rel.Items))
+			}
+			continue
+		}
+		w := e.fs.Create(name)
+		for _, it := range rel.Items {
+			w.Append(encodeItem(tagged{ID: it.ID, Rect: it.R}))
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadRelation reads one slot's relation from the DFS (charging read
+// cost) and tags the items with the slot number.
+func (e *executor) loadRelation(slot int) ([]tagged, error) {
+	rel := e.rels[slot]
+	out := make([]tagged, 0, len(rel.Items))
+	err := e.fs.Scan(inputFile(rel.Name), func(rec []byte) error {
+		it, err := decodeItem(rec)
+		if err != nil {
+			return err
+		}
+		it.Slot = int8(slot)
+		out = append(out, it)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// loadAllRelations concatenates all slots' items (each slot reads its
+// relation file, so self-joins charge one read per slot, as a Hadoop
+// job with the dataset listed once per input would).
+func (e *executor) loadAllRelations() ([]tagged, error) {
+	var out []tagged
+	for s := range e.rels {
+		items, err := e.loadRelation(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, items...)
+	}
+	return out, nil
+}
+
+// stageTagged writes tagged items to a DFS file and reads them back —
+// the materialisation boundary between chained jobs.
+func (e *executor) stageTagged(name string, items []tagged) ([]tagged, error) {
+	w := e.fs.Create(name)
+	for _, it := range items {
+		w.Append(encodeItem(it))
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	out := make([]tagged, 0, len(items))
+	err := e.fs.Scan(name, func(rec []byte) error {
+		it, err := decodeItem(rec)
+		if err != nil {
+			return err
+		}
+		out = append(out, it)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stagePartials is stageTagged for cascade intermediates.
+func (e *executor) stagePartials(name string, ps []partial) ([]partial, error) {
+	w := e.fs.Create(name)
+	for _, p := range ps {
+		w.Append(encodePartial(p))
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	out := make([]partial, 0, len(ps))
+	err := e.fs.Scan(name, func(rec []byte) error {
+		p, err := decodePartial(rec)
+		if err != nil {
+			return err
+		}
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// statsDelta subtracts DFS counter snapshots.
+func statsDelta(before, after dfs.Stats) dfs.Stats {
+	return dfs.Stats{
+		BytesWritten:   after.BytesWritten - before.BytesWritten,
+		BytesRead:      after.BytesRead - before.BytesRead,
+		RecordsWritten: after.RecordsWritten - before.RecordsWritten,
+		RecordsRead:    after.RecordsRead - before.RecordsRead,
+		BlocksWritten:  after.BlocksWritten - before.BlocksWritten,
+		BlocksRead:     after.BlocksRead - before.BlocksRead,
+		FilesCreated:   after.FilesCreated - before.FilesCreated,
+		FilesDeleted:   after.FilesDeleted - before.FilesDeleted,
+	}
+}

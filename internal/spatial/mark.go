@@ -1,0 +1,247 @@
+package spatial
+
+import (
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/index"
+	"mwsjoin/internal/query"
+)
+
+// Round one of Controlled-Replicate: each reducer c receives the
+// rectangles split onto its cell and decides which of those *starting*
+// in c must be replicated (§7.4, conditions C1–C4; §8 revises C2 for
+// range predicates; §9 for hybrid queries).
+//
+// Implementation note (DESIGN.md §3.1). The union uS_c over the maximal
+// rectangle-sets of §7.4 equals the union over all rectangle-sets
+// satisfying C1–C3, so maximality (C4) is only a search prune. A
+// rectangle u is therefore marked iff a *witness* exists: a consistent
+// partial assignment U ∋ u over a proper subset S of the slots such
+// that every member whose relation has a query edge leaving S can
+// escape the cell via that edge, where escaping means crossing the cell
+// boundary for overlap edges (C2, §7.4) and having another cell within
+// the edge's distance d for range edges (C2, §8).
+//
+// The search assigns u, then repeatedly *forces in* the neighbour slots
+// of members that cannot escape, backtracking over candidate members.
+// When no forced slot remains and |S| < m, the witness stands (C3 holds
+// because the join graph is connected). When the closure swallows all m
+// slots the branch is a full local tuple — exactly the C3 boundary case
+// the paper excludes, because reducer c can compute that tuple itself
+// in round two.
+
+// marker is the per-cell marking engine. It is rebuilt per reducer call
+// (cheap: slices over the already-grouped cell data).
+type marker struct {
+	pl   *plan
+	part *grid.Partitioning
+	cell grid.CellID
+	cd   *cellData
+
+	// escape[s][e][j] caches whether item j of slot s can escape the
+	// cell via incident edge e (ordering per slotEdges[s]).
+	slotEdges [][]query.Edge
+	escape    [][][]bool
+
+	indexes []index.Index
+	assign  []int
+	// forcedBy[s] counts how many assigned members currently force
+	// slot s in; a slot is pending while forcedBy > 0 and unassigned.
+	forcedBy []int
+	assigned int
+	marked   [][]bool
+}
+
+// markCell computes the marked flag for every item of cd that starts in
+// cell c. The returned matrix is indexed [slot][local item index].
+func markCell(pl *plan, part *grid.Partitioning, c grid.CellID, cd *cellData) [][]bool {
+	mk := &marker{
+		pl:       pl,
+		part:     part,
+		cell:     c,
+		cd:       cd,
+		indexes:  make([]index.Index, pl.m),
+		assign:   make([]int, pl.m),
+		forcedBy: make([]int, pl.m),
+		marked:   make([][]bool, pl.m),
+	}
+	for s := 0; s < pl.m; s++ {
+		mk.assign[s] = -1
+		mk.marked[s] = make([]bool, len(cd.ids[s]))
+	}
+	if pl.m < 2 {
+		return mk.marked // single-relation queries never replicate
+	}
+	mk.slotEdges = make([][]query.Edge, pl.m)
+	mk.escape = make([][][]bool, pl.m)
+	for s := 0; s < pl.m; s++ {
+		mk.slotEdges[s] = pl.q.EdgesAt(s)
+		mk.escape[s] = make([][]bool, len(mk.slotEdges[s]))
+	}
+
+	for s := 0; s < pl.m; s++ {
+		for j := range cd.ids[s] {
+			if mk.marked[s][j] {
+				continue
+			}
+			if part.Project(cd.rects[s][j]) != c {
+				continue // only the start cell decides (and outputs) an item
+			}
+			mk.assign[s] = j
+			mk.assigned = 1
+			forced := mk.force(s, j, +1)
+			mk.witness() // marks the whole witness set on success
+			mk.force(s, j, -1)
+			_ = forced
+			mk.assign[s] = -1
+			mk.assigned = 0
+		}
+	}
+	return mk.marked
+}
+
+// escapeOK reports (with caching) whether item j of slot s satisfies
+// the C2 escape test for its incident edge index ei.
+func (mk *marker) escapeOK(s, ei, j int) bool {
+	col := mk.escape[s][ei]
+	if col == nil {
+		col = make([]bool, len(mk.cd.ids[s]))
+		e := mk.slotEdges[s][ei]
+		for k := range col {
+			col[k] = mk.itemEscapes(mk.cd.rects[s][k], e)
+		}
+		mk.escape[s][ei] = col
+	}
+	return col[j]
+}
+
+// itemEscapes is the uncached C2 test for one rectangle and edge.
+func (mk *marker) itemEscapes(r geom.Rect, e query.Edge) bool {
+	if e.Pred.Kind == query.Overlap {
+		return mk.part.Crosses(r)
+	}
+	return mk.part.OtherCellWithin(r, mk.cell, e.Pred.D)
+}
+
+// force adjusts the forced counters for the assignment of item j to
+// slot s (delta = +1) or its removal (delta = -1): every unassigned
+// neighbour slot reached by an edge the item cannot escape through is
+// forced in. It returns nothing callers rely on beyond the counter
+// updates.
+func (mk *marker) force(s, j, delta int) bool {
+	for ei, e := range mk.slotEdges[s] {
+		t := e.Other(s)
+		if !mk.escapeOK(s, ei, j) {
+			mk.forcedBy[t] += delta
+		}
+	}
+	return true
+}
+
+// pendingSlot returns an unassigned forced slot, or -1.
+func (mk *marker) pendingSlot() int {
+	for s := 0; s < mk.pl.m; s++ {
+		if mk.forcedBy[s] > 0 && mk.assign[s] < 0 {
+			return s
+		}
+	}
+	return -1
+}
+
+// witness runs the forced-closure backtracking search from the current
+// assignment. On success it marks every assigned member that starts in
+// the cell and returns true.
+func (mk *marker) witness() bool {
+	t := mk.pendingSlot()
+	if t < 0 {
+		if mk.assigned >= mk.pl.m {
+			return false // full local tuple: C3 boundary case, no replication
+		}
+		// Witness found: mark all members starting in this cell.
+		for s, j := range mk.assign {
+			if j >= 0 && mk.part.Project(mk.cd.rects[s][j]) == mk.cell {
+				mk.marked[s][j] = true
+			}
+		}
+		return true
+	}
+	// Try every local item of the forced slot that is consistent with
+	// the current assignment (C1) and distinct under self-joins.
+	found := false
+	probe := mk.candidateProbe(t)
+	probe(func(j int) bool {
+		if !mk.consistentWithAssigned(t, j) {
+			return true
+		}
+		mk.assign[t] = j
+		mk.assigned++
+		mk.force(t, j, +1)
+		if mk.witness() {
+			found = true
+		}
+		mk.force(t, j, -1)
+		mk.assigned--
+		mk.assign[t] = -1
+		// Keep searching even after success: other witnesses may mark
+		// additional members... they may not — a witness only marks
+		// its own members, and the outer loop in markCell visits every
+		// unmarked item anyway, so stop at the first witness.
+		return !found
+	})
+	return found
+}
+
+// candidateProbe returns an iterator over plausible items for slot t:
+// if t has an assigned neighbour, candidates come from a spatial index
+// probe along one connecting edge; otherwise all local items.
+func (mk *marker) candidateProbe(t int) func(func(int) bool) {
+	for _, e := range mk.slotEdges[t] {
+		u := e.Other(t)
+		if mk.assign[u] >= 0 {
+			probeRect := mk.cd.rects[u][mk.assign[u]]
+			d := e.Pred.Weight()
+			return func(fn func(int) bool) {
+				mk.indexFor(t).Probe(probeRect, d, fn)
+			}
+		}
+	}
+	return func(fn func(int) bool) {
+		for j := range mk.cd.ids[t] {
+			if !fn(j) {
+				return
+			}
+		}
+	}
+}
+
+// indexFor lazily builds the index over slot t's local rectangles.
+func (mk *marker) indexFor(t int) index.Index {
+	if mk.indexes[t] == nil {
+		mk.indexes[t] = mk.pl.newIndex(mk.cd.rects[t])
+	}
+	return mk.indexes[t]
+}
+
+// consistentWithAssigned verifies C1 (all edges into the assigned set)
+// and self-join distinctness for binding item j to slot t.
+func (mk *marker) consistentWithAssigned(t, j int) bool {
+	for _, e := range mk.slotEdges[t] {
+		u := e.Other(t)
+		k := mk.assign[u]
+		if k < 0 {
+			continue
+		}
+		if !e.Pred.Eval(mk.cd.rects[t][j], mk.cd.rects[u][k]) {
+			return false
+		}
+	}
+	if mk.pl.distinct {
+		for u := 0; u < mk.pl.m; u++ {
+			k := mk.assign[u]
+			if k >= 0 && !mk.pl.compatible(u, mk.cd.ids[u][k], t, mk.cd.ids[t][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package spatial
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mwsjoin/internal/geom"
+)
+
+// Binary record formats for the simulated DFS. Sizes matter: the DFS
+// byte counters are the paper's reading/writing-cost metric, so records
+// use a compact fixed layout rather than a generic codec.
+//
+//	item record:  slot(1) id(4) rect(32) marked(1)      = 38 bytes
+//	tuple record: count(2) then per member id(4) rect(32)
+
+const (
+	rectBytes       = 32
+	itemRecordBytes = 1 + 4 + rectBytes + 1
+)
+
+// tagged is an item annotated with its query slot; it is the value
+// flowing through every spatial map-reduce job. Marked carries the
+// round-one Controlled-Replicate decision.
+type tagged struct {
+	Slot   int8
+	ID     int32
+	Rect   geom.Rect
+	Marked bool
+}
+
+func putRect(buf []byte, r geom.Rect) {
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(r.X))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.Y))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(r.L))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(r.B))
+}
+
+func getRect(buf []byte) geom.Rect {
+	return geom.Rect{
+		X: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+		Y: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		L: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+		B: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+	}
+}
+
+// encodeItem renders a tagged item as a DFS record.
+func encodeItem(t tagged) []byte {
+	buf := make([]byte, itemRecordBytes)
+	buf[0] = byte(t.Slot)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(t.ID))
+	putRect(buf[5:], t.Rect)
+	if t.Marked {
+		buf[37] = 1
+	}
+	return buf
+}
+
+// decodeItem parses a DFS item record.
+func decodeItem(buf []byte) (tagged, error) {
+	if len(buf) != itemRecordBytes {
+		return tagged{}, fmt.Errorf("spatial: item record has %d bytes, want %d", len(buf), itemRecordBytes)
+	}
+	return tagged{
+		Slot:   int8(buf[0]),
+		ID:     int32(binary.LittleEndian.Uint32(buf[1:])),
+		Rect:   getRect(buf[5:]),
+		Marked: buf[37] == 1,
+	}, nil
+}
+
+// partial is a tuple over a prefix of the cascade's slot order: ids and
+// rects are parallel, one entry per bound slot in plan order. Cascade
+// intermediates are sequences of partials.
+type partial struct {
+	IDs   []int32
+	Rects []geom.Rect
+}
+
+// memberBytes is the encoded size of one partial member.
+const memberBytes = 4 + rectBytes
+
+// encodedPartialBytes returns the record size of a partial with n
+// members.
+func encodedPartialBytes(n int) int { return 2 + n*memberBytes }
+
+// encodePartial renders a partial tuple as a DFS record.
+func encodePartial(p partial) []byte {
+	buf := make([]byte, encodedPartialBytes(len(p.IDs)))
+	binary.LittleEndian.PutUint16(buf, uint16(len(p.IDs)))
+	off := 2
+	for i := range p.IDs {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(p.IDs[i]))
+		putRect(buf[off+4:], p.Rects[i])
+		off += memberBytes
+	}
+	return buf
+}
+
+// decodePartial parses a DFS partial-tuple record.
+func decodePartial(buf []byte) (partial, error) {
+	if len(buf) < 2 {
+		return partial{}, fmt.Errorf("spatial: partial record too short (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	if len(buf) != encodedPartialBytes(n) {
+		return partial{}, fmt.Errorf("spatial: partial record has %d bytes, want %d for %d members", len(buf), encodedPartialBytes(n), n)
+	}
+	p := partial{IDs: make([]int32, n), Rects: make([]geom.Rect, n)}
+	off := 2
+	for i := 0; i < n; i++ {
+		p.IDs[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		p.Rects[i] = getRect(buf[off+4:])
+		off += memberBytes
+	}
+	return p, nil
+}

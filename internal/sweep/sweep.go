@@ -1,0 +1,107 @@
+// Package sweep implements the forward plane-sweep rectangle join used
+// inside reducers to evaluate one 2-way predicate over the rectangles
+// delivered to a partition-cell. This is the standard in-node join of
+// the SJMR line of work the paper builds on (§5): both inputs are
+// sorted by their left edge, and for each rectangle only the window of
+// candidates whose x-extents come within the threshold is examined.
+package sweep
+
+import (
+	"sort"
+
+	"mwsjoin/internal/geom"
+)
+
+// Join finds every pair (i, j) with as[i] within distance d of bs[j]
+// (d = 0 means overlap) and calls fn for each. Pairs are emitted in
+// deterministic order: ascending by the sorted x-order of as, then bs.
+// The callback returning false stops the join early.
+//
+// The algorithm sorts both sides by MinX and, for each a, scans only
+// the b's whose x-extent is within d of a's — the classic forward
+// sweep. Its worst case is quadratic (all rectangles stacked in one x
+// column) but on the paper's workloads the window stays small.
+func Join(as, bs []geom.Rect, d float64, fn func(i, j int) bool) {
+	if len(as) == 0 || len(bs) == 0 || d < 0 {
+		return
+	}
+	ai := sortedByMinX(as)
+	bi := sortedByMinX(bs)
+
+	start := 0
+	for _, i := range ai {
+		a := as[i]
+		aMin, aMax := a.MinX(), a.MaxX()
+		// Permanently discard leading b's that ended left of the sweep
+		// front: future a's have MinX ≥ aMin, so such b's can never
+		// come within d on the x axis again. Dead b's further inside
+		// the window are filtered by the match test instead.
+		for start < len(bi) && bs[bi[start]].MaxX() < aMin-d {
+			start++
+		}
+		for k := start; k < len(bi); k++ {
+			b := bs[bi[k]]
+			if b.MinX() > aMax+d {
+				break // all later b's start even further right
+			}
+			if match(a, b, d) {
+				if !fn(i, bi[k]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// JoinSelf finds every unordered pair i < j within rs satisfying the
+// predicate and calls fn for each.
+func JoinSelf(rs []geom.Rect, d float64, fn func(i, j int) bool) {
+	if len(rs) < 2 || d < 0 {
+		return
+	}
+	order := sortedByMinX(rs)
+	for p, i := range order {
+		a := rs[i]
+		aMax := a.MaxX()
+		for q := p + 1; q < len(order); q++ {
+			j := order[q]
+			b := rs[j]
+			if b.MinX() > aMax+d {
+				break
+			}
+			if match(a, b, d) {
+				lo, hi := i, j
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if !fn(lo, hi) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func match(a, b geom.Rect, d float64) bool {
+	if d == 0 {
+		return a.Overlaps(b)
+	}
+	return a.WithinDist(b, d)
+}
+
+// sortedByMinX returns index order of rs ascending by MinX, breaking
+// ties by index for determinism.
+func sortedByMinX(rs []geom.Rect) []int {
+	order := make([]int, len(rs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := rs[order[a]].MinX(), rs[order[b]].MinX()
+		if ra != rb {
+			return ra < rb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"mwsjoin/internal/geom"
+)
+
+func randRects(n int, rng *rand.Rand, space, maxDim float64) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		rects[i] = geom.Rect{
+			X: rng.Float64() * space,
+			Y: rng.Float64() * space,
+			L: rng.Float64() * maxDim,
+			B: rng.Float64() * maxDim,
+		}
+	}
+	return rects
+}
+
+func bruteJoin(as, bs []geom.Rect, d float64) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for i, a := range as {
+		for j, b := range bs {
+			ok := a.Overlaps(b)
+			if d > 0 {
+				ok = a.WithinDist(b, d)
+			}
+			if ok {
+				out[[2]int{i, j}] = true
+			}
+		}
+	}
+	return out
+}
+
+func sweepPairs(as, bs []geom.Rect, d float64) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	Join(as, bs, d, func(i, j int) bool {
+		key := [2]int{i, j}
+		if out[key] {
+			panic(fmt.Sprintf("duplicate pair %v", key))
+		}
+		out[key] = true
+		return true
+	})
+	return out
+}
+
+func equalPairs(a, b map[[2]int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJoinAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 33))
+	for trial := 0; trial < 30; trial++ {
+		as := randRects(60, rng, 100, 25)
+		bs := randRects(80, rng, 100, 25)
+		for _, d := range []float64{0, 5, 40} {
+			want := bruteJoin(as, bs, d)
+			got := sweepPairs(as, bs, d)
+			if !equalPairs(got, want) {
+				t.Fatalf("trial %d d=%v: got %d pairs, want %d", trial, d, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestJoinEdgeCases(t *testing.T) {
+	a := []geom.Rect{{X: 0, Y: 10, L: 10, B: 10}}
+	if got := sweepPairs(nil, a, 0); len(got) != 0 {
+		t.Error("empty left side must produce nothing")
+	}
+	if got := sweepPairs(a, nil, 0); len(got) != 0 {
+		t.Error("empty right side must produce nothing")
+	}
+	if got := sweepPairs(a, a, -1); len(got) != 0 {
+		t.Error("negative d must produce nothing")
+	}
+	// Touching rectangles join under overlap.
+	b := []geom.Rect{{X: 10, Y: 10, L: 5, B: 5}}
+	if got := sweepPairs(a, b, 0); len(got) != 1 {
+		t.Errorf("touching rects: %d pairs, want 1", len(got))
+	}
+	// Identical x stacks (worst case) still work.
+	var stackA, stackB []geom.Rect
+	for i := 0; i < 30; i++ {
+		stackA = append(stackA, geom.Rect{X: 0, Y: float64(3 * i), L: 1, B: 1})
+		stackB = append(stackB, geom.Rect{X: 0, Y: float64(3*i) + 1, L: 1, B: 1})
+	}
+	want := bruteJoin(stackA, stackB, 0)
+	if got := sweepPairs(stackA, stackB, 0); !equalPairs(got, want) {
+		t.Errorf("stacked join: got %d pairs, want %d", len(got), len(want))
+	}
+}
+
+func TestJoinEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	as := randRects(50, rng, 10, 10)
+	bs := randRects(50, rng, 10, 10)
+	count := 0
+	Join(as, bs, 0, func(i, j int) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Errorf("early stop visited %d, want 4", count)
+	}
+}
+
+func TestJoinSelf(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 2))
+	rs := randRects(80, rng, 100, 25)
+	for _, d := range []float64{0, 10} {
+		want := map[[2]int]bool{}
+		for i := 0; i < len(rs); i++ {
+			for j := i + 1; j < len(rs); j++ {
+				ok := rs[i].Overlaps(rs[j])
+				if d > 0 {
+					ok = rs[i].WithinDist(rs[j], d)
+				}
+				if ok {
+					want[[2]int{i, j}] = true
+				}
+			}
+		}
+		got := map[[2]int]bool{}
+		JoinSelf(rs, d, func(i, j int) bool {
+			if i >= j {
+				t.Fatalf("JoinSelf emitted unordered pair (%d,%d)", i, j)
+			}
+			key := [2]int{i, j}
+			if got[key] {
+				t.Fatalf("duplicate pair %v", key)
+			}
+			got[key] = true
+			return true
+		})
+		if !equalPairs(got, want) {
+			t.Fatalf("d=%v: got %d pairs, want %d", d, len(got), len(want))
+		}
+	}
+	// Early stop.
+	count := 0
+	JoinSelf(rs, 0, func(i, j int) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d, want 1", count)
+	}
+	JoinSelf(rs[:1], 0, func(i, j int) bool { t.Error("single rect has no pairs"); return true })
+}
+
+func TestJoinDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	as := randRects(40, rng, 50, 20)
+	bs := randRects(40, rng, 50, 20)
+	var first [][2]int
+	Join(as, bs, 0, func(i, j int) bool { first = append(first, [2]int{i, j}); return true })
+	for trial := 0; trial < 3; trial++ {
+		var again [][2]int
+		Join(as, bs, 0, func(i, j int) bool { again = append(again, [2]int{i, j}); return true })
+		if len(again) != len(first) {
+			t.Fatal("pair count changed between runs")
+		}
+		for k := range first {
+			if first[k] != again[k] {
+				t.Fatalf("order changed at %d: %v vs %v", k, first[k], again[k])
+			}
+		}
+	}
+	// Sanity: the emission order follows ascending MinX of as.
+	lastMinX := -1.0
+	seen := map[int]bool{}
+	for _, p := range first {
+		if !seen[p[0]] {
+			seen[p[0]] = true
+			if x := as[p[0]].MinX(); x < lastMinX {
+				t.Fatalf("emission order not ascending in as.MinX: %v after %v", x, lastMinX)
+			} else {
+				lastMinX = x
+			}
+		}
+	}
+	_ = sort.SearchInts // keep sort imported for clarity of intent
+}
+
+func BenchmarkJoin5k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	as := randRects(5000, rng, 100000, 100)
+	bs := randRects(5000, rng, 100000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		Join(as, bs, 0, func(int, int) bool { n++; return true })
+	}
+}

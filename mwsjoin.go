@@ -1,0 +1,331 @@
+// Package mwsjoin is a from-scratch Go reproduction of "Processing
+// Multi-Way Spatial Joins on Map-Reduce" (Gupta et al., EDBT 2013). It
+// evaluates conjunctive multi-way spatial join queries over rectangle
+// (MBR) datasets on a simulated map-reduce cluster, implementing the
+// paper's Controlled-Replicate framework together with the naive
+// baselines it is evaluated against.
+//
+// # Quick start
+//
+//	q, _ := mwsjoin.ParseQuery("city ov forest and forest ra(10) river")
+//	res, _ := mwsjoin.Run(q, []mwsjoin.Relation{cities, forests, rivers},
+//		mwsjoin.ControlledReplicateLimit, nil)
+//	for _, t := range res.Tuples { ... }
+//
+// Relations bind positionally to the query's slots (first slot →
+// rels[0], ...). A self-join binds the same relation to several slots;
+// by default tuples then require distinct rectangles per slot.
+//
+// # Methods
+//
+//   - BruteForce — single-machine reference join (ground truth);
+//   - Cascade — the naive 2-way Cascade baseline (§6.1 of the paper);
+//   - AllReplicate — the naive All-Replicate baseline (§6.1);
+//   - ControlledReplicate — the paper's C-Rep framework (§7–§9);
+//   - ControlledReplicateLimit — C-Rep-in-Limit (§7.9, §8), the
+//     strongest method and the recommended default.
+//
+// Every method returns the same tuple set; Result.Stats exposes the
+// cost metrics that differentiate them (intermediate key-value pairs,
+// rectangles replicated, rectangles after replication, simulated DFS
+// traffic), mirroring the paper's evaluation metrics (§7.8.3).
+package mwsjoin
+
+import (
+	"fmt"
+	"math"
+
+	"mwsjoin/internal/dataset"
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/pointquery"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/refine"
+	"mwsjoin/internal/spatial"
+)
+
+// Rect is an axis-aligned rectangle (x, y, l, b): start-point (top-left
+// vertex) plus length and breadth. See geom.Rect for the full method
+// set (Overlaps, WithinDist, Enlarge, ...).
+type Rect = geom.Rect
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// NewRect builds a validated rectangle from its start-point and
+// dimensions.
+func NewRect(x, y, l, b float64) (Rect, error) { return geom.NewRect(x, y, l, b) }
+
+// Query is a multi-way spatial join query: named relation slots joined
+// by Overlap / Range(d) conditions.
+type Query = query.Query
+
+// NewQuery creates a query over the given relation slots; add
+// conditions with (*Query).Overlap and (*Query).Range.
+func NewQuery(slots ...string) *Query { return query.New(slots...) }
+
+// ParseQuery parses the textual query form, e.g.
+// "R1 ov R2 and R2 ra(100) R3".
+func ParseQuery(text string) (*Query, error) { return query.Parse(text) }
+
+// Relation is a named rectangle dataset.
+type Relation = spatial.Relation
+
+// NewRelation builds a relation whose item IDs are the rectangle
+// indices.
+func NewRelation(name string, rects []Rect) Relation { return spatial.NewRelation(name, rects) }
+
+// Tuple is one output row: rectangle IDs bound to the query slots.
+type Tuple = spatial.Tuple
+
+// Result carries the output tuples and the execution cost statistics.
+type Result = spatial.Result
+
+// Stats is the per-execution cost breakdown (§7.8.3 metrics).
+type Stats = spatial.Stats
+
+// Method selects a join algorithm.
+type Method = spatial.Method
+
+// The available join methods.
+const (
+	BruteForce               = spatial.BruteForce
+	Cascade                  = spatial.Cascade
+	AllReplicate             = spatial.AllReplicate
+	ControlledReplicate      = spatial.ControlledReplicate
+	ControlledReplicateLimit = spatial.ControlledReplicateLimit
+)
+
+// ParseMethod resolves a method name ("c-rep", "2-way-cascade", ...).
+func ParseMethod(s string) (Method, error) { return spatial.ParseMethod(s) }
+
+// Methods lists all executable methods.
+func Methods() []Method { return spatial.Methods() }
+
+// Partitioning is the reducer grid: one map-reduce reducer per
+// partition-cell.
+type Partitioning = grid.Partitioning
+
+// NewPartitioning builds a uniform rows × cols reducer grid over the
+// given bounds.
+func NewPartitioning(bounds Rect, rows, cols int) (*Partitioning, error) {
+	return grid.NewUniform(bounds, rows, cols)
+}
+
+// Options tunes an execution. The zero value (or a nil *Options) picks
+// the paper's defaults: a 64-reducer (8×8) grid over the data bounds,
+// distinct rectangles per self-join slot, and the safe Chebyshev
+// replication-limit metric.
+type Options struct {
+	// Reducers is the reducer count (must be a perfect square);
+	// ignored when Partitioning is set. Default 64.
+	Reducers int
+	// Partitioning overrides the reducer grid entirely.
+	Partitioning *Partitioning
+	// Parallelism bounds concurrent map/reduce tasks (default:
+	// GOMAXPROCS).
+	Parallelism int
+	// EuclideanLimit applies the paper's Euclidean
+	// Controlled-Replicate-in-Limit metric instead of the default
+	// (safe) Chebyshev one. See DESIGN.md §3.2 for the trade-off.
+	EuclideanLimit bool
+	// AllowSelfPairs lets one rectangle occupy several slots of a
+	// self-join.
+	AllowSelfPairs bool
+	// UseRTree switches reducer-local indexing from the bucket grid to
+	// an STR R-tree.
+	UseRTree bool
+	// OptimizeOrder picks the cascade join order (and the matchers'
+	// backtracking order) from sampling-based cardinality estimates
+	// instead of plain graph connectivity. Results are unchanged.
+	OptimizeOrder bool
+	// MaxAttempts and FailMap inject deterministic mapper faults into
+	// every map-reduce job: before each attempt of mapper m, FailMap(m,
+	// attempt) decides whether the attempt crashes (its output is
+	// discarded and the task retried, up to MaxAttempts attempts).
+	MaxAttempts int
+	FailMap     func(mapper, attempt int) bool
+}
+
+// Run executes the query with the chosen method. rels[i] binds query
+// slot i; opts may be nil.
+func Run(q *Query, rels []Relation, method Method, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	cfg := spatial.Config{
+		Part:           o.Partitioning,
+		Parallelism:    o.Parallelism,
+		AllowSelfPairs: o.AllowSelfPairs,
+		UseRTree:       o.UseRTree,
+		MaxAttempts:    o.MaxAttempts,
+		FailMap:        o.FailMap,
+		OptimizeOrder:  o.OptimizeOrder,
+	}
+	if o.EuclideanLimit {
+		cfg.LimitMetric = grid.MetricEuclidean
+	}
+	if cfg.Part == nil && o.Reducers > 0 {
+		part, err := spatial.DefaultPartitioning(rels, o.Reducers)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Part = part
+	}
+	return spatial.Execute(method, q, rels, cfg)
+}
+
+// SyntheticParams re-exports the synthetic workload parameters of the
+// paper's generator script (§7.8.2).
+type SyntheticParams = dataset.SyntheticParams
+
+// PaperSyntheticParams returns the parameter set used in the paper's
+// synthetic tables (uniform, 100K×100K space, dimensions ≤ 100).
+func PaperSyntheticParams(n int) SyntheticParams { return dataset.PaperDefaults(n) }
+
+// SyntheticRelation generates a synthetic relation deterministically
+// from the seed.
+func SyntheticRelation(name string, p SyntheticParams, seed uint64) (Relation, error) {
+	return dataset.SyntheticRelation(name, p, seed)
+}
+
+// CaliforniaRoadsRelation generates the synthetic stand-in for the
+// paper's Census 2000 California road MBBs (n rectangles,
+// deterministic from the seed).
+func CaliforniaRoadsRelation(name string, n int, seed uint64) Relation {
+	return dataset.CaliforniaRoadsRelation(name, dataset.DefaultCaliforniaRoads(n), seed)
+}
+
+// ReadRelationFile loads a relation from a dataset file (one
+// "x,y,l,b" line per rectangle).
+func ReadRelationFile(name, path string) (Relation, error) {
+	rects, err := dataset.ReadFile(path)
+	if err != nil {
+		return Relation{}, err
+	}
+	return spatial.NewRelation(name, rects), nil
+}
+
+// WriteRelationFile saves rectangles to a dataset file.
+func WriteRelationFile(path string, rects []Rect) error {
+	return dataset.WriteFile(path, rects)
+}
+
+// Polygon is a simple polygon (vertices in order, implicitly closed)
+// used by the exact filter-and-refine pipeline.
+type Polygon = refine.Polygon
+
+// Layer is a named dataset of polygonal objects, the exact-geometry
+// counterpart of Relation.
+type Layer = refine.Layer
+
+// NewLayer builds a validated polygon layer whose object IDs are the
+// polygon indices.
+func NewLayer(name string, polys []Polygon) (Layer, error) {
+	return refine.NewLayer(name, polys)
+}
+
+// RunExact executes the paper's full two-step pipeline (§1.1): the
+// chosen map-reduce method evaluates the query on the layers' minimum
+// bounding rectangles (the filter step, a superset of the answer), then
+// the refinement step checks the exact polygon predicates on every
+// candidate tuple. The returned tuples reference the layers' object
+// IDs; Stats describes the filter step and additionally reports the
+// refined tuple count in OutputTuples.
+func RunExact(q *Query, layers []Layer, method Method, opts *Options) (*Result, error) {
+	rels := make([]Relation, len(layers))
+	for i, l := range layers {
+		rels[i] = l.FilterRelation()
+	}
+	res, err := Run(q, rels, method, opts)
+	if err != nil {
+		return nil, err
+	}
+	exact, err := refine.Refine(q, layers, res.Tuples)
+	if err != nil {
+		return nil, err
+	}
+	res.Tuples = exact
+	res.Stats.OutputTuples = int64(len(exact))
+	return res, nil
+}
+
+// PointSet is a named dataset of points for the point-query extensions
+// (containment and kNN join — the future-work queries of the paper's
+// §10).
+type PointSet = pointquery.PointSet
+
+// ContainmentPair reports that rectangle RectID contains point PointID.
+type ContainmentPair = pointquery.ContainmentPair
+
+// Neighbor is one kNN candidate: inner point ID and distance.
+type Neighbor = pointquery.Neighbor
+
+// KNNResult is the k nearest inner points of one outer point.
+type KNNResult = pointquery.KNNResult
+
+// pointQueryGrid derives the reducer grid for a point query from the
+// options and the data extent.
+func pointQueryGrid(o Options, pts []Point, extra []Relation) (*Partitioning, error) {
+	if o.Partitioning != nil {
+		return o.Partitioning, nil
+	}
+	rects := make([]Rect, 0, len(pts))
+	for _, p := range pts {
+		rects = append(rects, Rect{X: p.X, Y: p.Y})
+	}
+	rels := append([]Relation{NewRelation("pts", rects)}, extra...)
+	return spatial.DefaultPartitioning(rels, o.Reducers)
+}
+
+// Containment finds every (point, rectangle) pair with the point inside
+// the closed rectangle, on the simulated cluster. opts may be nil.
+func Containment(points PointSet, rects Relation, opts *Options) ([]ContainmentPair, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	part, err := pointQueryGrid(o, points.Pts, []Relation{rects})
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := pointquery.Containment(points, rects, part, pointquery.Config{Parallelism: o.Parallelism})
+	return pairs, err
+}
+
+// KNNJoin finds, for every point of outer, its k nearest points of
+// inner, on the simulated cluster. opts may be nil.
+func KNNJoin(outer, inner PointSet, k int, opts *Options) ([]KNNResult, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	part, err := pointQueryGrid(o, append(append([]Point(nil), outer.Pts...), inner.Pts...), nil)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := pointquery.KNNJoin(outer, inner, k, part, pointquery.Config{Parallelism: o.Parallelism})
+	return results, err
+}
+
+// QuantilePartitioning builds a reducer grid whose cuts are
+// start-point quantiles of the bound relations, equalising reducer load
+// under spatial skew (road networks, clustered data). k must be a
+// perfect square. Pass the result via Options.Partitioning.
+func QuantilePartitioning(rels []Relation, k int) (*Partitioning, error) {
+	if k <= 0 {
+		k = 64
+	}
+	side := int(math.Round(math.Sqrt(float64(k))))
+	if side*side != k {
+		return nil, fmt.Errorf("mwsjoin: reducer count %d is not a perfect square", k)
+	}
+	var rects []Rect
+	for _, rel := range rels {
+		for _, it := range rel.Items {
+			rects = append(rects, it.R)
+		}
+	}
+	return grid.NewQuantile(rects, side, side, Rect{})
+}

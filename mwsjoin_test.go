@@ -1,0 +1,210 @@
+package mwsjoin
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// smallWorld builds three tiny relations with one known 3-chain match:
+// a0 overlaps b0, b0 is within 10 of c0.
+func smallWorld() []Relation {
+	a := NewRelation("A", []Rect{
+		{X: 10, Y: 90, L: 10, B: 10},
+		{X: 70, Y: 20, L: 5, B: 5},
+	})
+	b := NewRelation("B", []Rect{
+		{X: 15, Y: 85, L: 10, B: 10},
+	})
+	c := NewRelation("C", []Rect{
+		{X: 30, Y: 85, L: 5, B: 5}, // 5 right of b0's right edge
+		{X: 90, Y: 10, L: 5, B: 5},
+	})
+	return []Relation{a, b, c}
+}
+
+func TestRunAllMethodsPublicAPI(t *testing.T) {
+	q, err := ParseQuery("A ov B and B ra(10) C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := smallWorld()
+	want := map[string]bool{Tuple{IDs: []int32{0, 0, 0}}.Key(): true}
+	for _, m := range Methods() {
+		res, err := Run(q, rels, m, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !reflect.DeepEqual(res.TupleSet(), want) {
+			t.Errorf("%v: tuples = %v, want [(0,0,0)]", m, res.Tuples)
+		}
+	}
+}
+
+func TestRunOptions(t *testing.T) {
+	q := NewQuery("A", "B").Overlap(0, 1)
+	rels := smallWorld()[:2]
+	part, err := NewPartitioning(Rect{X: 0, Y: 100, L: 100, B: 100}, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []*Options{
+		nil,
+		{Reducers: 16},
+		{Partitioning: part},
+		{EuclideanLimit: true, UseRTree: true, Parallelism: 2},
+	} {
+		res, err := Run(q, rels, ControlledReplicateLimit, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if len(res.Tuples) != 1 {
+			t.Errorf("opts %+v: %d tuples, want 1", opts, len(res.Tuples))
+		}
+	}
+	if _, err := Run(q, rels, ControlledReplicate, &Options{Reducers: 7}); err == nil {
+		t.Error("non-square reducer count must fail")
+	}
+}
+
+func TestPublicDataHelpers(t *testing.T) {
+	rel, err := SyntheticRelation("S", PaperSyntheticParams(100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Items) != 100 {
+		t.Fatalf("synthetic items = %d", len(rel.Items))
+	}
+	roads := CaliforniaRoadsRelation("roads", 500, 2)
+	if len(roads.Items) != 500 {
+		t.Fatalf("road items = %d", len(roads.Items))
+	}
+
+	path := filepath.Join(t.TempDir(), "r.csv")
+	rects := make([]Rect, 0, len(rel.Items))
+	for _, it := range rel.Items {
+		rects = append(rects, it.R)
+	}
+	if err := WriteRelationFile(path, rects); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRelationFile("S2", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Items) != len(rel.Items) || back.Name != "S2" {
+		t.Error("file round trip mismatch")
+	}
+
+	if _, err := NewRect(0, 0, -1, 0); err == nil {
+		t.Error("NewRect must validate")
+	}
+	if m, err := ParseMethod("c-rep-l"); err != nil || m != ControlledReplicateLimit {
+		t.Errorf("ParseMethod = %v, %v", m, err)
+	}
+}
+
+func TestSelfJoinThroughPublicAPI(t *testing.T) {
+	roads := CaliforniaRoadsRelation("roads", 300, 3)
+	q, err := ParseQuery("r1 ov r2 and r2 ov r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := []Relation{roads, roads, roads}
+	want, err := Run(q, rels, BruteForce, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(q, rels, ControlledReplicateLimit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.TupleSet(), want.TupleSet()) {
+		t.Errorf("self-join star query mismatch: %d vs %d tuples", len(got.Tuples), len(want.Tuples))
+	}
+}
+
+func TestPointQueriesPublicAPI(t *testing.T) {
+	points := PointSet{Name: "p", Pts: []Point{
+		{X: 15, Y: 85}, {X: 50, Y: 50}, {X: 90, Y: 10},
+	}}
+	rects := NewRelation("r", []Rect{
+		{X: 10, Y: 90, L: 10, B: 10},
+		{X: 40, Y: 60, L: 20, B: 20},
+	})
+	pairs, err := Containment(points, rects, &Options{Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ContainmentPair]bool{{PointID: 0, RectID: 0}: true, {PointID: 1, RectID: 1}: true}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected pair %v", p)
+		}
+	}
+
+	inner := PointSet{Name: "i", Pts: []Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 100, Y: 100}}}
+	outer := PointSet{Name: "o", Pts: []Point{{X: 1, Y: 0}}}
+	res, err := KNNJoin(outer, inner, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Neighbors) != 2 ||
+		res[0].Neighbors[0].ID != 0 || res[0].Neighbors[1].ID != 1 {
+		t.Fatalf("knn = %+v", res)
+	}
+}
+
+func TestRunExactPublicAPI(t *testing.T) {
+	// A triangle and two squares: the MBR filter admits both squares,
+	// exact refinement keeps only the one the triangle actually covers.
+	tri, err := NewLayer("A", []Polygon{{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := NewLayer("B", []Polygon{
+		{{X: 8, Y: 8}, {X: 9, Y: 8}, {X: 9, Y: 9}, {X: 8, Y: 9}},
+		{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}, {X: 1, Y: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery("A", "B").Overlap(0, 1)
+	res, err := RunExact(q, []Layer{tri, sq}, ControlledReplicateLimit, &Options{Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 || res.Tuples[0].IDs[1] != 1 {
+		t.Fatalf("exact tuples = %v, want only the covered square", res.Tuples)
+	}
+	if res.Stats.OutputTuples != 1 {
+		t.Errorf("OutputTuples = %d", res.Stats.OutputTuples)
+	}
+}
+
+func TestQuantilePartitioningPublicAPI(t *testing.T) {
+	roads := CaliforniaRoadsRelation("roads", 5000, 9)
+	rels := []Relation{roads, roads, roads}
+	part, err := QuantilePartitioning(rels, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParseQuery("a ov b and b ov c")
+	want, err := Run(q, rels, BruteForce, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(q, rels, ControlledReplicateLimit, &Options{Partitioning: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.TupleSet(), want.TupleSet()) {
+		t.Error("quantile partitioning changes results")
+	}
+	if _, err := QuantilePartitioning(rels, 7); err == nil {
+		t.Error("non-square count must fail")
+	}
+}
