@@ -1,0 +1,22 @@
+# Convenience targets; `make check` is the expanded tier-1 gate
+# (vet + build + race tests + short parser fuzz).
+
+.PHONY: check test build vet fuzz bench
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+fuzz:
+	go test -run='^$$' -fuzz=FuzzParseQuery -fuzztime=30s ./internal/query
+
+bench:
+	go test -bench=. -benchtime=1x ./...

@@ -43,12 +43,13 @@ func run(args []string, stdout io.Writer) error {
 		md       = fs.Bool("md", false, "emit markdown tables")
 		outPath  = fs.String("o", "", "also write the output to this file")
 		quiet    = fs.Bool("q", false, "suppress per-run progress on stderr")
+		traceDir = fs.String("tracedir", "", "write per-cell trace files (<table>-<row>-<method>.{json,txt}) into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := bench.Config{Unit: *unit, Seed: *seed, Reducers: *reducers, SkipSlow: *skipSlow}
+	cfg := bench.Config{Unit: *unit, Seed: *seed, Reducers: *reducers, SkipSlow: *skipSlow, TraceDir: *traceDir}
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}

@@ -48,6 +48,30 @@ func TestRunMarkdownToFile(t *testing.T) {
 	}
 }
 
+func TestRunTraceDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	var out strings.Builder
+	err := run([]string{"-table", "table6", "-unit", "250", "-q", "-tracedir", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 6: 5 sweep points × 2 methods × {json, txt}.
+	if len(entries) != 20 {
+		t.Fatalf("trace dir has %d files, want 20", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table6-d-100-c-rep.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "run") || !strings.Contains(string(data), "shuffle") {
+		t.Errorf("trace tree incomplete:\n%s", data)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-table", "table99"}, &out); err == nil {

@@ -26,6 +26,22 @@ import (
 	"mwsjoin"
 )
 
+// exportTrace writes one tracer export to path ("" skips it).
+func exportTrace(tr *mwsjoin.Tracer, path string, write func(*mwsjoin.Tracer, io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(tr, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // relFlags collects repeated -rel slot=path flags.
 type relFlags map[string]string
 
@@ -61,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quiet     = fs.Bool("quiet", false, "suppress tuple output (use with -stats)")
 		euclid    = fs.Bool("euclidean-limit", false, "use the paper's Euclidean C-Rep-L metric")
 		selfPairs = fs.Bool("allow-self-pairs", false, "allow one rectangle in several self-join slots")
+		traceJSON = fs.String("trace", "", "write a JSON span timeline of the execution to this file (one span per line)")
+		traceTree = fs.String("trace-tree", "", "write a human-readable span tree of the execution to this file")
 	)
 	fs.Var(rels, "rel", "slot binding <slot>=<file>; repeat once per slot")
 	if err := fs.Parse(args); err != nil {
@@ -99,12 +117,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bound[i] = rel
 	}
 
+	var tracer *mwsjoin.Tracer
+	if *traceJSON != "" || *traceTree != "" {
+		tracer = mwsjoin.NewTracer()
+	}
 	res, err := mwsjoin.Run(q, bound, m, &mwsjoin.Options{
 		Reducers:       *reducers,
 		EuclideanLimit: *euclid,
 		AllowSelfPairs: *selfPairs,
+		Tracer:         tracer,
 	})
 	if err != nil {
+		return err
+	}
+	if err := exportTrace(tracer, *traceJSON, (*mwsjoin.Tracer).WriteJSON); err != nil {
+		return err
+	}
+	if err := exportTrace(tracer, *traceTree, (*mwsjoin.Tracer).WriteTree); err != nil {
 		return err
 	}
 

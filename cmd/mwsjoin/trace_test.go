@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mwsjoin"
+	"mwsjoin/internal/trace"
+)
+
+// traceDataset writes a dataset big enough for a C-Rep run to shuffle
+// a few thousand pairs.
+func traceDataset(t *testing.T, name string, seed uint64, n int) string {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 1))
+	rects := make([]mwsjoin.Rect, n)
+	for i := range rects {
+		rects[i] = mwsjoin.Rect{
+			X: rng.Float64() * 1000,
+			Y: rng.Float64() * 1000,
+			L: rng.Float64() * 60,
+			B: rng.Float64() * 60,
+		}
+	}
+	return writeRects(t, name, rects)
+}
+
+var statRe = regexp.MustCompile(`round \d+ \(([^)]+)\): pairs=(\d+)`)
+
+// TestRunTraceMatchesStats is the CLI acceptance check: -trace on a
+// Controlled-Replicate query emits a valid JSON span timeline whose
+// per-job pair/byte counters exactly equal the Stats totals the -stats
+// report prints.
+func TestRunTraceMatchesStats(t *testing.T) {
+	r1 := traceDataset(t, "r1.csv", 11, 150)
+	r2 := traceDataset(t, "r2.csv", 12, 150)
+	r3 := traceDataset(t, "r3.csv", 13, 150)
+	traceFile := filepath.Join(t.TempDir(), "out.json")
+	treeFile := filepath.Join(t.TempDir(), "out.txt")
+
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-query", "R1 ov R2 and R2 ra(40) R3",
+		"-rel", "R1=" + r1, "-rel", "R2=" + r2, "-rel", "R3=" + r3,
+		"-method", "c-rep", "-reducers", "16", "-quiet", "-stats",
+		"-trace", traceFile, "-trace-tree", treeFile,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line of the trace file must be standalone valid JSON.
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+	}
+
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := trace.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect per-job pairs from the -stats report...
+	statPairs := map[string]int64{}
+	var statOrder []string
+	for _, m := range statRe.FindAllStringSubmatch(errOut.String(), -1) {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statPairs[m[1]] = n
+		statOrder = append(statOrder, m[1])
+	}
+	if len(statOrder) != 2 {
+		t.Fatalf("want 2 C-Rep rounds in stats, got %v", statOrder)
+	}
+
+	// ...and compare with the job spans' counters.
+	var jobOrder []string
+	var total, totalBytes int64
+	for _, s := range spans {
+		if s.Kind != trace.KindJob {
+			continue
+		}
+		jobOrder = append(jobOrder, s.Name)
+		want, ok := statPairs[s.Name]
+		if !ok {
+			t.Errorf("job span %q missing from stats report", s.Name)
+			continue
+		}
+		if got := s.Counter("pairs"); got != want {
+			t.Errorf("job %q: trace pairs=%d, stats pairs=%d", s.Name, got, want)
+		}
+		if s.Counter("bytes") <= 0 {
+			t.Errorf("job %q: no bytes counter in trace", s.Name)
+		}
+		total += s.Counter("pairs")
+		totalBytes += s.Counter("bytes")
+	}
+	if fmt.Sprint(jobOrder) != fmt.Sprint(statOrder) {
+		t.Errorf("job order: trace %v, stats %v", jobOrder, statOrder)
+	}
+
+	// The totals printed by -stats must equal the span sums.
+	wantTotal := statLine(t, errOut.String(), "intermediate pairs:")
+	if total != wantTotal {
+		t.Errorf("summed trace pairs=%d, stats total=%d", total, wantTotal)
+	}
+	wantW := statLine(t, errOut.String(), "dfs bytes written:")
+	var traceW int64
+	for _, s := range spans {
+		traceW += s.Counter("dfs_bytes_written")
+	}
+	if traceW != wantW {
+		t.Errorf("summed trace dfs writes=%d, stats=%d", traceW, wantW)
+	}
+
+	// The tree export mentions the hierarchy levels and the method.
+	tree, err := os.ReadFile(treeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"run", "round", "job", "phase", "c-rep", "shuffle"} {
+		if !strings.Contains(string(tree), want) {
+			t.Errorf("trace tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// statLine extracts the integer value of one "label:  N" stats line.
+func statLine(t *testing.T, report, label string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(report, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), label); ok {
+			n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("bad stats line %q: %v", line, err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("stats report has no %q line:\n%s", label, report)
+	return 0
+}
+
+// TestRunTraceFileError: an unwritable trace path surfaces as an error.
+func TestRunTraceFileError(t *testing.T) {
+	r := writeRects(t, "r.csv", []mwsjoin.Rect{{X: 0, Y: 10, L: 4, B: 4}})
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-query", "A ov B", "-rel", "A=" + r, "-rel", "B=" + r,
+		"-reducers", "4", "-allow-self-pairs", "-quiet",
+		"-trace", filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"),
+	}, &out, &errOut)
+	if err == nil {
+		t.Fatal("want error for unwritable trace path")
+	}
+}

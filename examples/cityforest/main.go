@@ -13,48 +13,61 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"mwsjoin"
 )
 
-func layer(name string, n int, maxDim float64, seed uint64) mwsjoin.Relation {
+func layer(name string, n int, maxDim float64, seed uint64) (mwsjoin.Relation, error) {
 	p := mwsjoin.PaperSyntheticParams(n)
 	p.XMax, p.YMax = 20_000, 20_000
 	p.LMax, p.BMax = maxDim, maxDim
-	rel, err := mwsjoin.SyntheticRelation(name, p, seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return rel
+	return mwsjoin.SyntheticRelation(name, p, seed)
 }
 
 func main() {
-	cities := layer("city", 4000, 120, 11)
-	forests := layer("forest", 1500, 400, 22)
-	rivers := layer("river", 800, 900, 33)
+	if err := run(os.Stdout, 4000, 1500, 800); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, nCities, nForests, nRivers int) error {
+	cities, err := layer("city", nCities, 120, 11)
+	if err != nil {
+		return err
+	}
+	forests, err := layer("forest", nForests, 400, 22)
+	if err != nil {
+		return err
+	}
+	rivers, err := layer("river", nRivers, 900, 33)
+	if err != nil {
+		return err
+	}
 
 	// city overlaps river, city within 50 units of a forest.
 	q, err := mwsjoin.ParseQuery("city ov river and city ra(50) forest")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rels := []mwsjoin.Relation{cities, rivers, forests} // slot order: city, river, forest
 
-	fmt.Printf("query: %s\n", q)
-	fmt.Printf("layers: %d cities, %d forests, %d rivers\n\n",
+	fmt.Fprintf(w, "query: %s\n", q)
+	fmt.Fprintf(w, "layers: %d cities, %d forests, %d rivers\n\n",
 		len(cities.Items), len(forests.Items), len(rivers.Items))
-	fmt.Printf("%-16s %10s %12s %14s %12s\n", "method", "time", "tuples", "kv-pairs", "replicated")
+	fmt.Fprintf(w, "%-16s %10s %12s %14s %12s\n", "method", "time", "tuples", "kv-pairs", "replicated")
 
 	var reference map[string]bool
 	for _, m := range mwsjoin.Methods() {
 		start := time.Now()
 		res, err := mwsjoin.Run(q, rels, m, &mwsjoin.Options{Reducers: 16})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-16s %10v %12d %14d %12d\n",
+		fmt.Fprintf(w, "%-16s %10v %12d %14d %12d\n",
 			m, time.Since(start).Round(time.Millisecond),
 			len(res.Tuples), res.Stats.IntermediatePairs(), res.Stats.RectanglesReplicated)
 
@@ -62,8 +75,9 @@ func main() {
 		if reference == nil {
 			reference = set
 		} else if len(set) != len(reference) {
-			log.Fatalf("%v disagrees with the reference result", m)
+			return fmt.Errorf("%v disagrees with the reference result", m)
 		}
 	}
-	fmt.Printf("\nall methods agree on %d (city, river, forest) triples\n", len(reference))
+	fmt.Fprintf(w, "\nall methods agree on %d (city, river, forest) triples\n", len(reference))
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCityforest runs the motivating query on small layers; the
+// example itself asserts cross-method agreement.
+func TestCityforest(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 250, 120, 80); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"query: city ov river and city ra(50) forest",
+		"c-rep-l",
+		"all methods agree on",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,38 +1,47 @@
-// Faultinjection demonstrates the engine's Hadoop-style task retry:
-// a join runs while every job's mapper 0 crashes twice before
-// succeeding, and the result is identical to the failure-free run.
+// Faultinjection demonstrates the engine's Hadoop-style task retry on
+// both sides of the shuffle: a join runs while every job's mapper 0
+// crashes twice before succeeding and every third reducer crashes
+// once, and the result is identical to the failure-free run.
 //
 //	go run ./examples/faultinjection
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"reflect"
 
 	"mwsjoin"
 )
 
 func main() {
-	p := mwsjoin.PaperSyntheticParams(5000)
+	if err := run(os.Stdout, 5000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n int) error {
+	p := mwsjoin.PaperSyntheticParams(n)
 	p.XMax, p.YMax = 10_000, 10_000
 	r1, err := mwsjoin.SyntheticRelation("R1", p, 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	r2, err := mwsjoin.SyntheticRelation("R2", p, 2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	q, err := mwsjoin.ParseQuery("R1 ov R2")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rels := []mwsjoin.Relation{r1, r2}
 
 	clean, err := mwsjoin.Run(q, rels, mwsjoin.ControlledReplicate, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	faulty, err := mwsjoin.Run(q, rels, mwsjoin.ControlledReplicate, &mwsjoin.Options{
@@ -40,21 +49,30 @@ func main() {
 		FailMap: func(mapper, attempt int) bool {
 			return mapper == 0 && attempt <= 2 // crash twice, succeed third
 		},
+		FailReduce: func(reducer, attempt int) bool {
+			return reducer%3 == 0 && attempt == 1 // crash once, succeed second
+		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	var attempts, failures int64
+	var mapAttempts, mapFailures, redAttempts, redFailures int64
 	for _, r := range faulty.Stats.Rounds {
-		attempts += r.MapAttempts
-		failures += r.MapFailures
+		mapAttempts += r.MapAttempts
+		mapFailures += r.MapFailures
+		redAttempts += r.ReduceAttempts
+		redFailures += r.ReduceFailures
 	}
-	fmt.Printf("clean run:   %d tuples\n", len(clean.Tuples))
-	fmt.Printf("faulty run:  %d tuples, %d map attempts, %d injected crashes\n",
-		len(faulty.Tuples), attempts, failures)
+	fmt.Fprintf(w, "clean run:   %d tuples\n", len(clean.Tuples))
+	fmt.Fprintf(w, "faulty run:  %d tuples, %d map attempts (%d crashed), %d reduce attempts (%d crashed)\n",
+		len(faulty.Tuples), mapAttempts, mapFailures, redAttempts, redFailures)
+	if mapFailures == 0 || redFailures == 0 {
+		return fmt.Errorf("fault injection never fired (map=%d reduce=%d)", mapFailures, redFailures)
+	}
 	if !reflect.DeepEqual(clean.TupleSet(), faulty.TupleSet()) {
-		log.Fatal("results diverged under fault injection")
+		return fmt.Errorf("results diverged under fault injection")
 	}
-	fmt.Println("results identical: task retry is transparent to the join")
+	fmt.Fprintln(w, "results identical: task retry is transparent to the join")
+	return nil
 }

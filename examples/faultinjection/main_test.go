@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultinjection runs the example on a small workload: both fault
+// kinds must fire and the runs must still agree.
+func TestFaultinjection(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 400); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"clean run:", "faulty run:", "results identical"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

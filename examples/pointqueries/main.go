@@ -8,26 +8,34 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand/v2"
+	"os"
 
 	"mwsjoin"
 )
 
 func main() {
+	if err := run(os.Stdout, 5000, 800, 2000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, nFacilities, nRegions, nHouses int) error {
 	rng := rand.New(rand.NewPCG(2013, 1))
 
 	// Facilities (points) and service regions (rectangles).
 	var facilities mwsjoin.PointSet
 	facilities.Name = "facility"
-	for i := 0; i < 5000; i++ {
+	for i := 0; i < nFacilities; i++ {
 		facilities.Pts = append(facilities.Pts, mwsjoin.Point{
 			X: rng.Float64() * 10_000,
 			Y: rng.Float64() * 10_000,
 		})
 	}
 	var regionRects []mwsjoin.Rect
-	for i := 0; i < 800; i++ {
+	for i := 0; i < nRegions; i++ {
 		regionRects = append(regionRects, mwsjoin.Rect{
 			X: rng.Float64() * 10_000,
 			Y: rng.Float64() * 10_000,
@@ -39,15 +47,15 @@ func main() {
 
 	pairs, err := mwsjoin.Containment(facilities, regions, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("containment: %d facilities × %d regions → %d (facility, region) pairs\n",
+	fmt.Fprintf(w, "containment: %d facilities × %d regions → %d (facility, region) pairs\n",
 		len(facilities.Pts), len(regions.Items), len(pairs))
 
 	// kNN join: for every house, the 3 nearest facilities.
 	var houses mwsjoin.PointSet
 	houses.Name = "house"
-	for i := 0; i < 2000; i++ {
+	for i := 0; i < nHouses; i++ {
 		houses.Pts = append(houses.Pts, mwsjoin.Point{
 			X: rng.Float64() * 10_000,
 			Y: rng.Float64() * 10_000,
@@ -55,14 +63,18 @@ func main() {
 	}
 	results, err := mwsjoin.KNNJoin(houses, facilities, 3, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("knn join:    %d houses × %d facilities, k=3 → %d result rows\n",
+	fmt.Fprintf(w, "knn join:    %d houses × %d facilities, k=3 → %d result rows\n",
 		len(houses.Pts), len(facilities.Pts), len(results))
-	r := results[0]
-	fmt.Printf("  e.g. house %d: nearest facilities", r.ID)
-	for _, n := range r.Neighbors {
-		fmt.Printf(" #%d (%.1f away)", n.ID, n.Dist)
+	if len(results) == 0 {
+		return fmt.Errorf("knn join returned no rows")
 	}
-	fmt.Println()
+	r := results[0]
+	fmt.Fprintf(w, "  e.g. house %d: nearest facilities", r.ID)
+	for _, n := range r.Neighbors {
+		fmt.Fprintf(w, " #%d (%.1f away)", n.ID, n.Dist)
+	}
+	fmt.Fprintln(w)
+	return nil
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPointqueries runs both point-query classes on a small workload.
+func TestPointqueries(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 300, 80, 120); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"containment: 300 facilities × 80 regions",
+		"knn join:    120 houses × 300 facilities, k=3 → 120 result rows",
+		"nearest facilities",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

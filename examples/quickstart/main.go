@@ -6,12 +6,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mwsjoin"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Three tiny relations. A rectangle is (x, y, l, b): start-point
 	// (top-left vertex), length and breadth.
 	r1 := mwsjoin.NewRelation("R1", []mwsjoin.Rect{
@@ -29,7 +37,7 @@ func main() {
 	// The paper's Q2: a chain of overlaps.
 	q, err := mwsjoin.ParseQuery("R1 ov R2 and R2 ov R3")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Run with the paper's Controlled-Replicate-in-Limit on a 4-reducer
@@ -37,14 +45,15 @@ func main() {
 	res, err := mwsjoin.Run(q, []mwsjoin.Relation{r1, r2, r3},
 		mwsjoin.ControlledReplicateLimit, &mwsjoin.Options{Reducers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("query: %s\n", q)
-	fmt.Printf("tuples (%d):\n", len(res.Tuples))
+	fmt.Fprintf(w, "query: %s\n", q)
+	fmt.Fprintf(w, "tuples (%d):\n", len(res.Tuples))
 	for _, t := range res.Tuples {
-		fmt.Printf("  R1[%d] ⋈ R2[%d] ⋈ R3[%d]\n", t.IDs[0], t.IDs[1], t.IDs[2])
+		fmt.Fprintf(w, "  R1[%d] ⋈ R2[%d] ⋈ R3[%d]\n", t.IDs[0], t.IDs[1], t.IDs[2])
 	}
-	fmt.Printf("intermediate key-value pairs: %d\n", res.Stats.IntermediatePairs())
-	fmt.Printf("rectangles replicated:        %d\n", res.Stats.RectanglesReplicated)
+	fmt.Fprintf(w, "intermediate key-value pairs: %d\n", res.Stats.IntermediatePairs())
+	fmt.Fprintf(w, "rectangles replicated:        %d\n", res.Stats.RectanglesReplicated)
+	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstart runs the example end to end and checks the one
+// expected triple appears.
+func TestQuickstart(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"query: R1 ov R2 and R2 ov R3",
+		"tuples (1):",
+		"R1[0] ⋈ R2[0] ⋈ R3[0]",
+		"intermediate key-value pairs:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

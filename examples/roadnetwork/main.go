@@ -9,14 +9,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mwsjoin"
 )
 
 func main() {
-	roads := mwsjoin.CaliforniaRoadsRelation("roads", 30_000, 2013)
-	fmt.Printf("synthetic California roads: %d MBBs\n\n", len(roads.Items))
+	if err := run(os.Stdout, 30_000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, nRoads int) error {
+	roads := mwsjoin.CaliforniaRoadsRelation("roads", nRoads, 2013)
+	fmt.Fprintf(w, "synthetic California roads: %d MBBs\n\n", len(roads.Items))
 
 	// Self-join: three query slots bound to the same dataset. Tuples
 	// bind distinct roads to the slots by default.
@@ -30,18 +38,19 @@ func main() {
 	for _, text := range queries {
 		q, err := mwsjoin.ParseQuery(text)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("query: %s\n", text)
+		fmt.Fprintf(w, "query: %s\n", text)
 		for _, m := range []mwsjoin.Method{mwsjoin.ControlledReplicate, mwsjoin.ControlledReplicateLimit} {
 			res, err := mwsjoin.Run(q, rels, m, nil)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("  %-8s %8v  triples=%-8d marked=%-6d copies shipped=%d\n",
+			fmt.Fprintf(w, "  %-8s %8v  triples=%-8d marked=%-6d copies shipped=%d\n",
 				m, res.Stats.Wall.Round(1e6), len(res.Tuples),
 				res.Stats.RectanglesReplicated, res.Stats.RectanglesAfterReplication)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	return nil
 }

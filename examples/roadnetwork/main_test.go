@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRoadnetwork runs the three star queries on a small road set.
+func TestRoadnetwork(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 1500); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"synthetic California roads: 1500 MBBs",
+		"query: rd1 ov rd2 and rd2 ov rd3",
+		"query: rd1 ra(15) rd2 and rd2 ra(15) rd3",
+		"query: rd1 ov rd2 and rd2 ra(20) rd3",
+		"c-rep-l",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

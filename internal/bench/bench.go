@@ -18,6 +18,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"mwsjoin/internal/geom"
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/spatial"
+	"mwsjoin/internal/trace"
 )
 
 // Config tunes a harness run.
@@ -44,6 +46,15 @@ type Config struct {
 	SkipSlow bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// TraceDir, when non-empty, records every measured cell with a
+	// tracer and writes two files per cell into the directory (created
+	// if missing): <table>-<row>-<method>.json (span timeline, one span
+	// per line) and .txt (the human-readable phase tree).
+	TraceDir string
+
+	// traceTable is the id stamped into trace filenames; each TableN
+	// sets it on its private copy.
+	traceTable string
 }
 
 // DefaultUnit is the rectangles-per-paper-million scale.
@@ -147,9 +158,18 @@ func runRow(cfg Config, label string, q *query.Query, rels []spatial.Relation, m
 		}
 		// CountOnly: dense sweep points produce 10^8 tuples; the harness
 		// needs counts and costs, not materialised results.
-		res, err := spatial.Execute(m, q, rels, spatial.Config{Part: part, CountOnly: true})
+		var tr *trace.Tracer
+		if cfg.TraceDir != "" {
+			tr = trace.New()
+		}
+		res, err := spatial.Execute(m, q, rels, spatial.Config{Part: part, CountOnly: true, Tracer: tr})
 		if err != nil {
 			return row, fmt.Errorf("bench: %s %v: %w", label, m, err)
+		}
+		if tr != nil {
+			if err := writeTraces(cfg, label, m, tr); err != nil {
+				return row, err
+			}
 		}
 		var pairBytes int64
 		for _, r := range res.Stats.Rounds {
@@ -173,6 +193,48 @@ func runRow(cfg Config, label string, q *query.Query, rels []spatial.Relation, m
 			cell.Replicated, cell.AfterReplication, cell.Pairs, row.Tuples)
 	}
 	return row, nil
+}
+
+// writeTraces exports one measured cell's tracer into TraceDir as a
+// JSON timeline plus a phase tree.
+func writeTraces(cfg Config, label string, m spatial.Method, tr *trace.Tracer) error {
+	if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(cfg.TraceDir,
+		traceFileName(cfg.traceTable)+"-"+traceFileName(label)+"-"+traceFileName(m.String()))
+	for ext, write := range map[string]func(io.Writer) error{
+		".json": tr.WriteJSON,
+		".txt":  tr.WriteTree,
+	} {
+		f, err := os.Create(base + ext)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	cfg.logf("  %-14s traces -> %s.{json,txt}", label, base)
+	return nil
+}
+
+// traceFileName sanitises a label for use in a filename: anything
+// outside [a-zA-Z0-9._-] becomes '-'.
+func traceFileName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
 }
 
 // synthetic3 builds three synthetic relations with the paper's default
@@ -229,6 +291,7 @@ func selfStar(p1, p2 query.Predicate) *query.Query {
 // Cascade, All-Replicate, C-Rep and C-Rep-L.
 func Table2(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cfg.traceTable = "table2"
 	t := &Table{
 		ID:    "table2",
 		Title: "Query Q2, varying the dataset size",
@@ -263,6 +326,7 @@ func Table2(cfg Config) (*Table, error) {
 // maximum rectangle dimensions l_max = b_max = 100..500.
 func Table3(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cfg.traceTable = "table3"
 	t := &Table{
 		ID:      "table3",
 		Title:   "Query Q2, varying rectangle dimensions",
@@ -304,6 +368,7 @@ func roadsRelation(cfg Config, n int, k float64) spatial.Relation {
 // k = 1.0..2.0 (§7.8.6) with nI = 2 units.
 func Table4(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cfg.traceTable = "table4"
 	t := &Table{
 		ID:      "table4",
 		Title:   "Query Q2s, California road data (synthetic stand-in)",
@@ -328,6 +393,7 @@ func Table4(cfg Config) (*Table, error) {
 // synthetic data, sweeping nI = 1..5 units.
 func Table5(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cfg.traceTable = "table5"
 	t := &Table{
 		ID:      "table5",
 		Title:   "Query Q3 (d=100), varying the dataset size",
@@ -358,6 +424,7 @@ func Table5(cfg Config) (*Table, error) {
 // distance parameter d = 100..500.
 func Table6(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cfg.traceTable = "table6"
 	t := &Table{
 		ID:      "table6",
 		Title:   "Query Q3, varying distance parameter d",
@@ -384,6 +451,7 @@ func Table6(cfg Config) (*Table, error) {
 // d = 5..20.
 func Table7(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cfg.traceTable = "table7"
 	t := &Table{
 		ID:      "table7",
 		Title:   "Query Q3s, California road data (synthetic stand-in), sampled p=0.5",
@@ -409,6 +477,7 @@ func Table7(cfg Config) (*Table, error) {
 // R2 Ra(200) R3, uniform synthetic data, sweeping nI = 1..5 units.
 func Table8(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cfg.traceTable = "table8"
 	t := &Table{
 		ID:      "table8",
 		Title:   "Query Q4 (d=200), varying the dataset size",
@@ -436,6 +505,7 @@ func Table8(cfg Config) (*Table, error) {
 // d = 10..40.
 func Table9(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
+	cfg.traceTable = "table9"
 	t := &Table{
 		ID:      "table9",
 		Title:   "Query Q4s, California road data (synthetic stand-in), sampled p=0.5",

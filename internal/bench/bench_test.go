@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"mwsjoin/internal/spatial"
+	"mwsjoin/internal/trace"
 )
 
 // tinyConfig keeps harness unit tests fast.
@@ -128,6 +131,59 @@ func TestTable2ReplicationShape(t *testing.T) {
 				row.Label, prevRep, crep.Replicated)
 		}
 		prevRep = crep.Replicated
+	}
+}
+
+// TestTraceDirWritesPerCellFiles: with TraceDir set, Table6 (the
+// smallest sweep: two methods, one workload) writes a readable JSON
+// timeline and a phase tree for every measured cell.
+func TestTraceDirWritesPerCellFiles(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Unit = 200
+	cfg.TraceDir = filepath.Join(t.TempDir(), "traces")
+	tab, err := Table6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for _, m := range tab.Methods {
+			base := filepath.Join(cfg.TraceDir, "table6-"+traceFileName(row.Label)+"-"+traceFileName(m.String()))
+			f, err := os.Open(base + ".json")
+			if err != nil {
+				t.Fatalf("missing trace: %v", err)
+			}
+			spans, err := trace.ReadJSON(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s.json: %v", base, err)
+			}
+			if len(spans) == 0 || spans[0].Kind != trace.KindRun {
+				t.Errorf("%s.json: no run span (got %d spans)", base, len(spans))
+			}
+			tree, err := os.ReadFile(base + ".txt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(tree), "shuffle") {
+				t.Errorf("%s.txt: no shuffle phase in tree:\n%s", base, tree)
+			}
+		}
+	}
+}
+
+func TestTraceFileName(t *testing.T) {
+	cases := map[string]string{
+		"nI=1":     "nI-1",
+		"k=1.25":   "k-1.25",
+		"c-rep-l":  "c-rep-l",
+		"d=5":      "d-5",
+		"a b/c:d":  "a-b-c-d",
+		"lmax=100": "lmax-100",
+	}
+	for in, want := range cases {
+		if got := traceFileName(in); got != want {
+			t.Errorf("traceFileName(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

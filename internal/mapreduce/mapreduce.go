@@ -21,9 +21,13 @@
 // The engine is deterministic regardless of goroutine scheduling:
 // pairs are concatenated in mapper-index order before grouping, keys
 // are reduced in sorted order, and outputs are assembled in reducer
-// order. Mapper fault injection (Config.FailMap with MaxAttempts)
-// deterministically re-runs failed map attempts, discarding their
-// partial output, to mirror Hadoop's task retry semantics.
+// order. Task fault injection (Config.FailMap / Config.FailReduce with
+// MaxAttempts) deterministically re-runs failed attempts, discarding
+// their partial output, to mirror Hadoop's task retry semantics.
+//
+// When Config.Tracer is set, every run emits a span tree — job →
+// map/shuffle/reduce phases → task attempts — with counters that
+// mirror the Stats totals exactly (see mwsjoin/internal/trace).
 package mapreduce
 
 import (
@@ -33,6 +37,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mwsjoin/internal/trace"
 )
 
 // Config carries the engine knobs shared by all jobs.
@@ -46,13 +52,24 @@ type Config struct {
 	// Parallelism bounds concurrently running tasks; defaults to
 	// GOMAXPROCS.
 	Parallelism int
-	// MaxAttempts is the per-mapper attempt budget when FailMap is
-	// set; defaults to 1 (no retry).
+	// MaxAttempts is the per-task attempt budget when FailMap or
+	// FailReduce is set; defaults to 1 (no retry).
 	MaxAttempts int
 	// FailMap, when non-nil, is consulted before each map attempt;
 	// returning true makes the attempt fail after producing (and then
 	// discarding) its output, simulating a task crash.
 	FailMap func(mapper, attempt int) bool
+	// FailReduce is the reduce-side twin of FailMap: consulted after
+	// each reduce attempt of a reducer, returning true discards the
+	// attempt's partial output and retries (up to MaxAttempts). Note
+	// that side effects of the user Reduce function itself (shared
+	// counters, ...) cannot be rolled back by the engine.
+	FailReduce func(reducer, attempt int) bool
+	// Tracer, when non-nil, receives job → phase → task-attempt spans
+	// and counters for this job; TraceParent is the span they nest
+	// under (0 for a root job span). A nil Tracer costs nothing.
+	Tracer      *trace.Tracer
+	TraceParent trace.SpanID
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -83,6 +100,8 @@ type Stats struct {
 	ReduceOutputRecords int64
 	MapAttempts         int64 // includes failed attempts
 	MapFailures         int64
+	ReduceAttempts      int64 // includes failed attempts
+	ReduceFailures      int64
 	// PairsPerReducer measures reducer load balance: entry i is the
 	// number of intermediate pairs routed to reducer i.
 	PairsPerReducer []int64
@@ -120,6 +139,8 @@ func (s *Stats) Add(o *Stats) {
 	s.ReduceOutputRecords += o.ReduceOutputRecords
 	s.MapAttempts += o.MapAttempts
 	s.MapFailures += o.MapFailures
+	s.ReduceAttempts += o.ReduceAttempts
+	s.ReduceFailures += o.ReduceFailures
 	s.MapWall += o.MapWall
 	s.ReduceWall += o.ReduceWall
 	s.TotalWall += o.TotalWall
@@ -178,8 +199,13 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		PairsPerReducer: make([]int64, cfg.NumReducers),
 	}
 	start := time.Now()
+	tr := cfg.Tracer
+	traced := tr != nil
+	jobSpan := tr.Start(cfg.TraceParent, trace.KindJob, cfg.Name)
+	defer tr.End(jobSpan)
 
 	// ---- map phase ----
+	mapSpan := tr.Start(jobSpan, trace.KindPhase, "map")
 	mapStart := time.Now()
 	nm := cfg.NumMappers
 	if nm > len(input) && len(input) > 0 {
@@ -193,12 +219,20 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	mapErrs := make([]error, nm)
 	attempts := make([]int64, nm)
 	failures := make([]int64, nm)
+	var mapLogs [][]taskAttempt
+	if traced {
+		mapLogs = make([][]taskAttempt, nm)
+	}
 
 	runTasks(cfg.Parallelism, nm, func(m int) {
 		lo := len(input) * m / nm
 		hi := len(input) * (m + 1) / nm
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 			attempts[m]++
+			var t0 time.Time
+			if traced {
+				t0 = time.Now()
+			}
 			out := make([]pairBatch[K, V], cfg.NumReducers)
 			emit := func(k K, v V) {
 				r := partition(k, cfg.NumReducers)
@@ -213,6 +247,9 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				err = safeMap(j.Map, input[i], emit)
 			}
 			injected := cfg.FailMap != nil && cfg.FailMap(m, attempt)
+			if traced {
+				mapLogs[m] = append(mapLogs[m], taskAttempt{start: t0, end: time.Now(), failed: injected})
+			}
 			if injected {
 				failures[m]++
 				if attempt == cfg.MaxAttempts {
@@ -229,18 +266,32 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			return
 		}
 	})
-	for m, err := range mapErrs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("%w (mapper %d)", err, m)
-		}
-	}
 	for m := range attempts {
 		stats.MapAttempts += attempts[m]
 		stats.MapFailures += failures[m]
 	}
 	stats.MapWall = time.Since(mapStart)
+	if traced {
+		// Task-attempt spans are logged in task order after the phase,
+		// so span IDs stay deterministic despite concurrent execution.
+		logTaskAttempts(tr, mapSpan, "map", mapLogs)
+		tr.Add(mapSpan, "records_in", stats.MapInputRecords)
+		tr.Add(mapSpan, "attempts", stats.MapAttempts)
+		tr.Add(mapSpan, "injected_failures", stats.MapFailures)
+	}
+	tr.End(mapSpan)
+	for m, err := range mapErrs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w (mapper %d)", err, m)
+		}
+	}
 
 	// ---- shuffle: concatenate per-reducer in mapper order ----
+	// This is the hot loop of the engine; the tracer is deliberately
+	// untouched here — shuffle counters are attached once per phase
+	// below, so a nil tracer adds zero work and zero allocations per
+	// pair.
+	shuffleStart := time.Now()
 	type reducerInput struct {
 		keys []K
 		vals []V
@@ -266,19 +317,42 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		}
 	}
 	batches = nil
+	if traced {
+		shuffleSpan := tr.Observe(jobSpan, trace.KindPhase, "shuffle", shuffleStart, time.Now())
+		var maxPairs, hot int64
+		for r, n := range stats.PairsPerReducer {
+			if n > maxPairs {
+				maxPairs, hot = n, int64(r)
+			}
+		}
+		tr.Add(shuffleSpan, "pairs", stats.IntermediatePairs)
+		tr.Add(shuffleSpan, "bytes", stats.IntermediateBytes)
+		tr.Add(shuffleSpan, "reducers", int64(cfg.NumReducers))
+		tr.Add(shuffleSpan, "max_reducer_pairs", maxPairs)
+		tr.Add(shuffleSpan, "hot_reducer", hot)
+	}
 
 	// ---- reduce phase ----
+	reduceSpan := tr.Start(jobSpan, trace.KindPhase, "reduce")
 	reduceStart := time.Now()
 	outputs := make([][]O, cfg.NumReducers)
 	keyCounts := make([]int64, cfg.NumReducers)
 	redErrs := make([]error, cfg.NumReducers)
+	redAttempts := make([]int64, cfg.NumReducers)
+	redFailures := make([]int64, cfg.NumReducers)
+	var redLogs [][]taskAttempt
+	if traced {
+		redLogs = make([][]taskAttempt, cfg.NumReducers)
+	}
 	runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) {
 		in := rin[r]
 		if len(in.keys) == 0 {
 			return
 		}
 		// Group values by key, preserving arrival order within a key:
-		// sort distinct keys, bucket values by key.
+		// sort distinct keys, bucket values by key. The grouping is
+		// derived from the immutable shuffle output, so retried
+		// attempts reuse it.
 		groups := make(map[K][]V, len(in.keys)/2+1)
 		for i, k := range in.keys {
 			groups[k] = append(groups[k], in.vals[i])
@@ -288,19 +362,45 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			keys = append(keys, k)
 		}
 		sort.Slice(keys, func(a, b int) bool { return cmp.Less(keys[a], keys[b]) })
-		keyCounts[r] = int64(len(keys))
-		emit := func(o O) { outputs[r] = append(outputs[r], o) }
-		for _, k := range keys {
-			if err := safeReduce(j.Reduce, k, groups[k], emit); err != nil {
-				redErrs[r] = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, err)
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			redAttempts[r]++
+			var t0 time.Time
+			if traced {
+				t0 = time.Now()
+			}
+			var out []O
+			emit := func(o O) { out = append(out, o) }
+			var rerr error
+			for _, k := range keys {
+				if rerr = safeReduce(j.Reduce, k, groups[k], emit); rerr != nil {
+					rerr = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, rerr)
+					break
+				}
+			}
+			injected := cfg.FailReduce != nil && cfg.FailReduce(r, attempt)
+			if traced {
+				redLogs[r] = append(redLogs[r], taskAttempt{start: t0, end: time.Now(), failed: injected})
+			}
+			if injected {
+				redFailures[r]++
+				if attempt == cfg.MaxAttempts {
+					redErrs[r] = fmt.Errorf("mapreduce: job %q: reducer %d failed after %d attempts", cfg.Name, r, attempt)
+					return
+				}
+				continue // discard partial output, retry
+			}
+			if rerr != nil {
+				redErrs[r] = rerr
 				return
 			}
+			outputs[r] = out
+			keyCounts[r] = int64(len(keys))
+			return
 		}
 	})
-	for _, err := range redErrs {
-		if err != nil {
-			return nil, nil, err
-		}
+	for r := range redAttempts {
+		stats.ReduceAttempts += redAttempts[r]
+		stats.ReduceFailures += redFailures[r]
 	}
 	stats.ReduceWall = time.Since(reduceStart)
 
@@ -310,8 +410,57 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		out = append(out, outputs[r]...)
 	}
 	stats.ReduceOutputRecords = int64(len(out))
+	if traced {
+		logTaskAttempts(tr, reduceSpan, "reduce", redLogs)
+		tr.Add(reduceSpan, "keys", stats.ReduceInputKeys)
+		tr.Add(reduceSpan, "records_out", stats.ReduceOutputRecords)
+		tr.Add(reduceSpan, "attempts", stats.ReduceAttempts)
+		tr.Add(reduceSpan, "injected_failures", stats.ReduceFailures)
+	}
+	tr.End(reduceSpan)
+	for _, err := range redErrs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
 	stats.TotalWall = time.Since(start)
+	if traced {
+		// Job-level counters mirror the Stats totals exactly, so a
+		// trace can be cross-checked against (and decomposes) the flat
+		// per-job accounting.
+		tr.Add(jobSpan, "pairs", stats.IntermediatePairs)
+		tr.Add(jobSpan, "bytes", stats.IntermediateBytes)
+		tr.Add(jobSpan, "records_in", stats.MapInputRecords)
+		tr.Add(jobSpan, "keys", stats.ReduceInputKeys)
+		tr.Add(jobSpan, "records_out", stats.ReduceOutputRecords)
+		tr.Add(jobSpan, "map_attempts", stats.MapAttempts)
+		tr.Add(jobSpan, "map_failures", stats.MapFailures)
+		tr.Add(jobSpan, "reduce_attempts", stats.ReduceAttempts)
+		tr.Add(jobSpan, "reduce_failures", stats.ReduceFailures)
+	}
 	return out, stats, nil
+}
+
+// taskAttempt is one task attempt's locally measured timing, logged
+// into the tracer after its phase completes so span IDs are assigned
+// in deterministic task order.
+type taskAttempt struct {
+	start, end time.Time
+	failed     bool
+}
+
+// logTaskAttempts records the per-task attempt spans of one phase.
+// logs[t] holds task t's attempts in attempt order.
+func logTaskAttempts(tr *trace.Tracer, phase trace.SpanID, kind string, logs [][]taskAttempt) {
+	for t, attempts := range logs {
+		for i, a := range attempts {
+			id := tr.Observe(phase, trace.KindTask, fmt.Sprintf("%s-%d#%d", kind, t, i+1), a.start, a.end)
+			if a.failed {
+				tr.Add(id, "injected_failure", 1)
+			}
+		}
+	}
 }
 
 // safeMap invokes the map function, converting panics into errors so a

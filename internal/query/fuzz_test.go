@@ -1,0 +1,77 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseQuery checks the parser's contract on arbitrary input:
+// Parse never panics, every accepted query validates, and accepted
+// queries round-trip — the String() form reparses to a structurally
+// identical query and is itself a fixed point.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		// Documented forms (parse.go, package docs, EXPERIMENTS.md).
+		"R1 ov R2 and R2 ra(100) R3",
+		"city ov forest and forest ra(10) river",
+		"rd1 ov rd2 and rd2 ov rd3",
+		"rd1 ra(5) rd2 and rd2 ra(5) rd3",
+		"rd1 ov rd2 and rd2 ra(10) rd3",
+		"R1 ra(100) R2 and R2 ra(100) R3",
+		"R1 ov R2 and R2 ov R3",
+		"A ov B",
+		// Predicate aliases and case-insensitivity.
+		"a overlaps b",
+		"a overlap b",
+		"x range(2.5) y",
+		"x within(40) y",
+		"A OV B",
+		"A RA(7) B",
+		// Numeric forms.
+		"a ra(1e3) b",
+		"a ra(0.25) b",
+		"a ra(+5) b",
+		"a ra(0) b",
+		// Slot names that collide with the grammar's keywords.
+		"and ov b",
+		"a ov and",
+		"ov ov ra(1)",
+		// Invalid shapes the parser must reject without panicking.
+		"",
+		"A ov",
+		"A ov B and",
+		"A xx B",
+		"A ra() B",
+		"A ra(nan) B",
+		"A ra(-1) B",
+		"A ov A",
+		"A ov B and C ov D",
+		" and ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return // rejected input; the property only binds accepted queries
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid query: %v", text, err)
+		}
+		s := q.String()
+		q2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("String %q of accepted query %q does not reparse: %v", s, text, err)
+		}
+		if !reflect.DeepEqual(q.Slots(), q2.Slots()) {
+			t.Fatalf("round-trip of %q changed slots: %v vs %v", text, q.Slots(), q2.Slots())
+		}
+		if !reflect.DeepEqual(q.Edges(), q2.Edges()) {
+			t.Fatalf("round-trip of %q changed edges: %+v vs %+v", text, q.Edges(), q2.Edges())
+		}
+		if s2 := q2.String(); s2 != s {
+			t.Fatalf("String is not a fixed point for %q: %q then %q", text, s, s2)
+		}
+	})
+}

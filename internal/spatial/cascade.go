@@ -69,6 +69,9 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 	var counted atomic.Int64
 	for p := 1; p < pl.m; p++ {
 		newSlot := pl.order[p]
+		// One round span per cascade step: the 2-way join job plus the
+		// staging of its intermediate on the DFS (the cost §6.4 blames).
+		roundSpan := exec.beginRound(fmt.Sprintf("step-%d-%s", p, pl.q.Slots()[newSlot]))
 		// On the final step with CountOnly, tuples are counted at the
 		// reducers instead of materialised and staged.
 		discard := countOnly && p == pl.m-1
@@ -122,6 +125,7 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 
 		if discard {
 			current = nil
+			exec.endRound(roundSpan)
 			continue
 		}
 		// Materialise the intermediate (or final) result on the DFS
@@ -131,6 +135,7 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		exec.endRound(roundSpan)
 	}
 
 	// Convert plan-ordered partials to slot-ordered tuples.

@@ -21,6 +21,7 @@ func allReplicate(pl *plan, exec *executor) (*Result, error) {
 		return nil, err
 	}
 
+	roundSpan := exec.beginRound("join")
 	var replicated, afterReplication, counted atomic.Int64
 	job := &mapreduce.Job[tagged, grid.CellID, tagged, Tuple]{
 		Config: exec.jobConfig("all-replicate"),
@@ -40,6 +41,7 @@ func allReplicate(pl *plan, exec *executor) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	exec.endRound(roundSpan)
 	res := &Result{Tuples: tuples}
 	res.Stats = Stats{
 		Method:                     AllReplicate,
@@ -47,10 +49,21 @@ func allReplicate(pl *plan, exec *executor) (*Result, error) {
 		RectanglesReplicated:       replicated.Load(),
 		RectanglesAfterReplication: afterReplication.Load(),
 		ReplicationCopies:          afterReplication.Load(),
-		OutputTuples:               counted.Load(),
+		OutputTuples:               outputCount(exec.cfg.CountOnly, &counted, len(tuples)),
 		Wall:                       time.Since(start),
 	}
 	return res, nil
+}
+
+// outputCount picks the tuple count: the committed reducer outputs
+// when materialising (discarded retry attempts of injected reduce
+// faults re-run the counting closure, so the atomic may overshoot),
+// the atomic tally when CountOnly suppressed materialisation.
+func outputCount(countOnly bool, counted *atomic.Int64, materialised int) int64 {
+	if countOnly {
+		return counted.Load()
+	}
+	return int64(materialised)
 }
 
 // controlledReplicate runs the paper's Controlled-Replicate framework
@@ -81,6 +94,7 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 	}
 
 	// ---- round one: split everything, decide replication ----
+	markSpan := exec.beginRound("mark")
 	round1 := &mapreduce.Job[tagged, grid.CellID, tagged, tagged]{
 		Config: exec.jobConfig(fmt.Sprintf("%s-mark", method)),
 		Map: func(it tagged, emit func(grid.CellID, tagged)) error {
@@ -118,8 +132,10 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	exec.endRound(markSpan)
 
 	// ---- round two: replicate marked, project the rest, join ----
+	joinSpan := exec.beginRound("join")
 	var replicated, afterReplication, counted atomic.Int64
 	round2 := &mapreduce.Job[tagged, grid.CellID, tagged, Tuple]{
 		Config: exec.jobConfig(fmt.Sprintf("%s-join", method)),
@@ -148,6 +164,7 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	exec.endRound(joinSpan)
 
 	res := &Result{Tuples: tuples}
 	res.Stats = Stats{
@@ -162,7 +179,7 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 		// were marked).
 		RectanglesAfterReplication: st2.IntermediatePairs,
 		ReplicationCopies:          afterReplication.Load(),
-		OutputTuples:               counted.Load(),
+		OutputTuples:               outputCount(exec.cfg.CountOnly, &counted, len(tuples)),
 		Wall:                       time.Since(start),
 	}
 	return res, nil

@@ -11,6 +11,7 @@ import (
 	"mwsjoin/internal/grid"
 	"mwsjoin/internal/mapreduce"
 	"mwsjoin/internal/query"
+	"mwsjoin/internal/trace"
 )
 
 // Config tunes a join execution.
@@ -37,10 +38,18 @@ type Config struct {
 	// FS is the simulated distributed file system; a private one is
 	// created when nil.
 	FS *dfs.FS
-	// MaxAttempts and FailMap pass fault injection through to every
-	// job (see mapreduce.Config).
+	// MaxAttempts, FailMap and FailReduce pass fault injection through
+	// to every job (see mapreduce.Config).
 	MaxAttempts int
 	FailMap     func(mapper, attempt int) bool
+	FailReduce  func(reducer, attempt int) bool
+	// Tracer, when non-nil, receives the execution's span tree: a run
+	// span over the whole call, one round span per algorithm step
+	// (cascade steps, C-Rep's mark/join rounds) covering the step's
+	// jobs and DFS staging, and the engine's job/phase/task spans
+	// beneath. DFS I/O counters are attributed to the active round, so
+	// a traced execution must not share its FS with concurrent runs.
+	Tracer *trace.Tracer
 	// OptimizeOrder replaces the default connectivity join order with a
 	// cost-based one derived from sampling estimates (footnote 1 of the
 	// paper assumes Cascade runs its 2-way joins in the optimal order).
@@ -50,7 +59,10 @@ type Config struct {
 	// CountOnly suppresses materialisation of the output tuples:
 	// Result.Tuples stays nil while Stats.OutputTuples still reports
 	// the exact count. Used by the benchmark harness, whose dense
-	// sweeps produce hundreds of millions of tuples.
+	// sweeps produce hundreds of millions of tuples. CountOnly tallies
+	// tuples inside the reducers, so combining it with FailReduce
+	// overcounts (discarded attempts cannot untally); materialising
+	// runs are exact under fault injection.
 	CountOnly bool
 }
 
@@ -97,6 +109,32 @@ type executor struct {
 	fs     *dfs.FS
 	cfg    Config
 	metric grid.Metric
+
+	tr      *trace.Tracer
+	runSpan trace.SpanID
+	// cur is the span job and DFS costs currently flow into: the open
+	// round span, or the run span between rounds.
+	cur trace.SpanID
+}
+
+// beginRound opens a round span (one algorithm step) and points job
+// and DFS accounting at it.
+func (e *executor) beginRound(name string) trace.SpanID {
+	id := e.tr.Start(e.runSpan, trace.KindRound, name)
+	if id != 0 {
+		e.cur = id
+		e.fs.SetTrace(e.tr, id)
+	}
+	return id
+}
+
+// endRound closes a round span and reattaches accounting to the run.
+func (e *executor) endRound(id trace.SpanID) {
+	e.tr.End(id)
+	if id != 0 {
+		e.cur = e.runSpan
+		e.fs.SetTrace(e.tr, e.runSpan)
+	}
 }
 
 // Execute runs the query bound to the given relations (rels[i] binds
@@ -127,7 +165,14 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 	if fs == nil {
 		fs = dfs.New(0)
 	}
-	exec := &executor{part: part, rels: rels, fs: fs, cfg: cfg, metric: cfg.LimitMetric}
+	exec := &executor{part: part, rels: rels, fs: fs, cfg: cfg, metric: cfg.LimitMetric, tr: cfg.Tracer}
+	exec.runSpan = exec.tr.Start(0, trace.KindRun, fmt.Sprintf("%s %s", method, q))
+	exec.cur = exec.runSpan
+	if exec.runSpan != 0 {
+		fs.SetTrace(exec.tr, exec.runSpan)
+		defer fs.SetTrace(nil, 0)
+	}
+	defer exec.tr.End(exec.runSpan)
 
 	before := fs.Stats()
 	if err := exec.stageInputs(); err != nil {
@@ -153,10 +198,18 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 		return nil, err
 	}
 	res.Stats.DFS = statsDelta(before, fs.Stats())
+	if exec.runSpan != 0 {
+		exec.tr.Add(exec.runSpan, "tuples", res.Stats.OutputTuples)
+		exec.tr.Add(exec.runSpan, "pairs", res.Stats.IntermediatePairs())
+		exec.tr.Add(exec.runSpan, "marked", res.Stats.RectanglesReplicated)
+		exec.tr.Add(exec.runSpan, "copies", res.Stats.RectanglesAfterReplication)
+		exec.tr.Add(exec.runSpan, "rounds", int64(len(res.Stats.Rounds)))
+	}
 	return res, nil
 }
 
-// jobConfig builds the engine config for one job of this execution.
+// jobConfig builds the engine config for one job of this execution;
+// the job's spans nest under the currently open round.
 func (e *executor) jobConfig(name string) mapreduce.Config {
 	return mapreduce.Config{
 		Name:        name,
@@ -165,6 +218,9 @@ func (e *executor) jobConfig(name string) mapreduce.Config {
 		Parallelism: e.cfg.Parallelism,
 		MaxAttempts: e.cfg.MaxAttempts,
 		FailMap:     e.cfg.FailMap,
+		FailReduce:  e.cfg.FailReduce,
+		Tracer:      e.tr,
+		TraceParent: e.cur,
 	}
 }
 

@@ -1,0 +1,154 @@
+package spatial
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"mwsjoin/internal/dfs"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/trace"
+)
+
+// traceWorkload builds a small 3-relation workload for trace tests.
+func traceWorkload(t *testing.T) (*query.Query, []Relation) {
+	t.Helper()
+	q := query.New("R1", "R2", "R3").Overlap(0, 1).Range(1, 2, 30)
+	rng := rand.New(rand.NewPCG(2013, 42))
+	return q, randomRelations(rng, 3, 120, 1000, 80)
+}
+
+// TestTraceJobCountersMatchRoundStats: for every executed method, each
+// engine round's Stats must appear as a job span whose pair/byte
+// counters match exactly — the trace decomposes, never contradicts,
+// the flat accounting.
+func TestTraceJobCountersMatchRoundStats(t *testing.T) {
+	q, rels := traceWorkload(t)
+	for _, m := range []Method{Cascade, AllReplicate, ControlledReplicate, ControlledReplicateLimit} {
+		tr := trace.New()
+		res, err := Execute(m, q, rels, Config{Tracer: tr})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		jobs := tr.Find(trace.KindJob, "")
+		if len(jobs) != len(res.Stats.Rounds) {
+			t.Fatalf("%v: %d job spans for %d rounds", m, len(jobs), len(res.Stats.Rounds))
+		}
+		for i, st := range res.Stats.Rounds {
+			js := jobs[i]
+			if js.Name != st.Job {
+				t.Errorf("%v: job span %d named %q, stats say %q", m, i, js.Name, st.Job)
+			}
+			if js.Counter("pairs") != st.IntermediatePairs {
+				t.Errorf("%v %s: span pairs=%d stats=%d", m, st.Job, js.Counter("pairs"), st.IntermediatePairs)
+			}
+			if js.Counter("bytes") != st.IntermediateBytes {
+				t.Errorf("%v %s: span bytes=%d stats=%d", m, st.Job, js.Counter("bytes"), st.IntermediateBytes)
+			}
+		}
+	}
+}
+
+// TestTraceHierarchyAndDFSAttribution checks the span tree shape for a
+// Controlled-Replicate run — run → {mark, join} rounds → jobs →
+// phases — and that DFS I/O is attributed to rounds and run, summing
+// to the execution's DFS stats delta.
+func TestTraceHierarchyAndDFSAttribution(t *testing.T) {
+	q, rels := traceWorkload(t)
+	tr := trace.New()
+	fs := dfs.New(0)
+	res, err := Execute(ControlledReplicate, q, rels, Config{Tracer: tr, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runs := tr.Find(trace.KindRun, "")
+	if len(runs) != 1 {
+		t.Fatalf("got %d run spans, want 1", len(runs))
+	}
+	run := runs[0]
+	if run.Parent != 0 || run.Dur < 0 {
+		t.Errorf("run span malformed: %+v", run)
+	}
+	if !strings.HasPrefix(run.Name, "c-rep ") {
+		t.Errorf("run span name %q lacks method prefix", run.Name)
+	}
+	if run.Counter("tuples") != res.Stats.OutputTuples {
+		t.Errorf("run tuples=%d, stats=%d", run.Counter("tuples"), res.Stats.OutputTuples)
+	}
+	if run.Counter("pairs") != res.Stats.IntermediatePairs() {
+		t.Errorf("run pairs=%d, stats=%d", run.Counter("pairs"), res.Stats.IntermediatePairs())
+	}
+
+	rounds := tr.Find(trace.KindRound, "")
+	if len(rounds) != 2 || rounds[0].Name != "mark" || rounds[1].Name != "join" {
+		t.Fatalf("rounds = %+v, want mark + join", rounds)
+	}
+	for _, r := range rounds {
+		if r.Parent != run.ID {
+			t.Errorf("round %s not under run", r.Name)
+		}
+	}
+	for _, j := range tr.Find(trace.KindJob, "") {
+		if j.Parent != rounds[0].ID && j.Parent != rounds[1].ID {
+			t.Errorf("job %s not under a round span", j.Name)
+		}
+	}
+
+	// DFS attribution: staging reads/writes land on the run span (input
+	// staging) and round spans (intermediate materialisation); their sum
+	// must equal the execution's DFS delta.
+	var gotW, gotR int64
+	for _, s := range append(rounds, run) {
+		gotW += s.Counter("dfs_bytes_written")
+		gotR += s.Counter("dfs_bytes_read")
+	}
+	if gotW != res.Stats.DFS.BytesWritten {
+		t.Errorf("traced dfs writes=%d, stats=%d", gotW, res.Stats.DFS.BytesWritten)
+	}
+	if gotR != res.Stats.DFS.BytesRead {
+		t.Errorf("traced dfs reads=%d, stats=%d", gotR, res.Stats.DFS.BytesRead)
+	}
+	// The mark round materialises the marked file: it must own some I/O.
+	if rounds[0].Counter("dfs_bytes_written") == 0 {
+		t.Error("mark round attributed no DFS writes")
+	}
+}
+
+// TestTracingSemanticsTransparent: the same execution with and without
+// a tracer returns identical tuples and cost counters.
+func TestTracingSemanticsTransparent(t *testing.T) {
+	q, rels := traceWorkload(t)
+	for _, m := range []Method{Cascade, AllReplicate, ControlledReplicateLimit} {
+		plain, err := Execute(m, q, rels, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced, err := Execute(m, q, rels, Config{Tracer: trace.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTupleSet(plain.TupleSet(), traced.TupleSet()) {
+			t.Errorf("%v: tuples differ under tracing", m)
+		}
+		if plain.Stats.IntermediatePairs() != traced.Stats.IntermediatePairs() {
+			t.Errorf("%v: pairs differ: %d vs %d", m, plain.Stats.IntermediatePairs(), traced.Stats.IntermediatePairs())
+		}
+		if plain.Stats.RectanglesReplicated != traced.Stats.RectanglesReplicated {
+			t.Errorf("%v: replication differs", m)
+		}
+	}
+}
+
+// sameTupleSet compares two canonical tuple sets.
+func sameTupleSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// jsonSpan is the wire form of one timeline line. Offsets and
+// durations are integer microseconds so any tooling can consume them
+// without duration parsing; dur_us is -1 for spans never ended.
+type jsonSpan struct {
+	ID       SpanID           `json:"id"`
+	Parent   SpanID           `json:"parent"`
+	Kind     Kind             `json:"kind"`
+	Name     string           `json:"name"`
+	StartUS  int64            `json:"start_us"`
+	DurUS    int64            `json:"dur_us"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// WriteJSON exports the span timeline as JSON lines: one span object
+// per line, in span-ID (creation) order. encoding/json sorts counter
+// keys, so the output is deterministic up to wall-clock fields.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Spans() {
+		js := jsonSpan{
+			ID: s.ID, Parent: s.Parent, Kind: s.Kind, Name: s.Name,
+			StartUS:  s.Start.Microseconds(),
+			DurUS:    s.Dur.Microseconds(),
+			Counters: s.Counters,
+		}
+		if s.Dur < 0 {
+			js.DurUS = -1
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a timeline produced by WriteJSON back into span
+// snapshots — the inverse used by tests and external tooling.
+func ReadJSON(r io.Reader) ([]Span, error) {
+	var out []Span
+	dec := json.NewDecoder(r)
+	for {
+		var js jsonSpan
+		if err := dec.Decode(&js); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: bad timeline line %d: %w", len(out)+1, err)
+		}
+		s := Span{
+			ID: js.ID, Parent: js.Parent, Kind: js.Kind, Name: js.Name,
+			Start:    time.Duration(js.StartUS) * time.Microsecond,
+			Dur:      time.Duration(js.DurUS) * time.Microsecond,
+			Counters: js.Counters,
+		}
+		if js.DurUS < 0 {
+			s.Dur = -1
+		}
+		out = append(out, s)
+	}
+}
+
+// skewThreshold is the max/mean reducer-load ratio above which the
+// tree summary flags a hot cell. 2× means the hottest reducer holds
+// at least twice the mean load.
+const skewThreshold = 2.0
+
+// maxTasksShown bounds the task-attempt lines printed per phase; a
+// larger phase is collapsed to its slowest attempt plus a summary.
+const maxTasksShown = 8
+
+// WriteTree renders the span hierarchy as an indented, human-readable
+// summary: per-span wall time, percentage of its run, sorted counters,
+// and a reducer-skew flag on shuffle phases whose hottest reducer
+// exceeds skewThreshold times the mean load. Phases with many task
+// attempts are collapsed to the slowest attempt.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans := t.Spans()
+	children := make(map[SpanID][]Span, len(spans))
+	for _, s := range spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	bw := bufio.NewWriter(w)
+	for _, root := range children[0] {
+		total := root.Dur
+		if total <= 0 {
+			total = 1 // open or instant root: avoid div by zero
+		}
+		writeTreeNode(bw, children, root, "", total)
+	}
+	return bw.Flush()
+}
+
+// writeTreeNode prints one span line and recurses into its children.
+func writeTreeNode(w *bufio.Writer, children map[SpanID][]Span, s Span, indent string, total time.Duration) {
+	fmt.Fprintf(w, "%s%s\n", indent, formatSpanLine(s, total))
+
+	kids := children[s.ID]
+	var tasks, others []Span
+	for _, k := range kids {
+		if k.Kind == KindTask {
+			tasks = append(tasks, k)
+		} else {
+			others = append(others, k)
+		}
+	}
+	childIndent := nextIndent(indent)
+	for _, k := range others {
+		writeTreeNode(w, children, k, childIndent, total)
+	}
+	if len(tasks) <= maxTasksShown {
+		for _, k := range tasks {
+			writeTreeNode(w, children, k, childIndent, total)
+		}
+		return
+	}
+	slowest := tasks[0]
+	var failed int
+	for _, k := range tasks {
+		if k.Dur > slowest.Dur {
+			slowest = k
+		}
+		failed += int(k.Counter("injected_failure"))
+	}
+	line := fmt.Sprintf("task ×%d (slowest %s %s", len(tasks), slowest.Name, formatDur(slowest.Dur))
+	if failed > 0 {
+		line += fmt.Sprintf(", %d injected failures", failed)
+	}
+	fmt.Fprintf(w, "%s%s)\n", childIndent, line)
+}
+
+// nextIndent deepens the tree prefix by one level.
+func nextIndent(indent string) string { return indent + "  " }
+
+// formatSpanLine renders one span: kind, name, duration, percentage of
+// the run, counters, and the hot-cell flag.
+func formatSpanLine(s Span, total time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %s", s.Kind, s.Name)
+	if s.Dur < 0 {
+		b.WriteString("  [open]")
+	} else {
+		fmt.Fprintf(&b, "  %s (%.1f%%)", formatDur(s.Dur), 100*float64(s.Dur)/float64(total))
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("  [")
+		for i, name := range counterNames(s.Counters) {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%d", name, s.Counters[name])
+		}
+		b.WriteByte(']')
+	}
+	if skew, hot, flagged := spanSkew(s); flagged {
+		fmt.Fprintf(&b, "  ⚠ skew %.1f× (hot reducer %d)", skew, hot)
+	}
+	return b.String()
+}
+
+// spanSkew computes max/mean reducer load from a span's shuffle
+// counters (pairs, max_reducer_pairs, reducers) and reports whether it
+// crosses the flagging threshold.
+func spanSkew(s Span) (skew float64, hot int64, flagged bool) {
+	pairs := s.Counter("pairs")
+	maxPairs := s.Counter("max_reducer_pairs")
+	reducers := s.Counter("reducers")
+	if pairs <= 0 || reducers <= 1 || maxPairs <= 0 {
+		return 0, 0, false
+	}
+	skew = float64(maxPairs) * float64(reducers) / float64(pairs)
+	return skew, s.Counter("hot_reducer"), skew >= skewThreshold
+}
+
+// formatDur rounds a duration for display.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndCounters(t *testing.T) {
+	tr := New()
+	run := tr.Start(0, KindRun, "c-rep q2")
+	round := tr.Start(run, KindRound, "mark")
+	job := tr.Start(round, KindJob, "c-rep-mark")
+	tr.Add(job, "pairs", 40)
+	tr.Add(job, "pairs", 2)
+	tr.Add(job, "bytes", 1600)
+	tr.End(job)
+	tr.End(round)
+	tr.End(run)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].ID != 1 || spans[1].ID != 2 || spans[2].ID != 3 {
+		t.Errorf("IDs not sequential: %v %v %v", spans[0].ID, spans[1].ID, spans[2].ID)
+	}
+	if spans[1].Parent != spans[0].ID || spans[2].Parent != spans[1].ID {
+		t.Errorf("parent chain broken: %+v", spans)
+	}
+	js := spans[2]
+	if js.Counter("pairs") != 42 || js.Counter("bytes") != 1600 {
+		t.Errorf("counters = %v", js.Counters)
+	}
+	if js.Counter("missing") != 0 {
+		t.Error("missing counter must read 0")
+	}
+	for _, s := range spans {
+		if s.Dur < 0 {
+			t.Errorf("span %d not ended", s.ID)
+		}
+		if s.Start < 0 {
+			t.Errorf("span %d negative start", s.ID)
+		}
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	build := func() []Span {
+		tr := New()
+		run := tr.Start(0, KindRun, "run")
+		for i := 0; i < 3; i++ {
+			j := tr.Start(run, KindJob, "job")
+			tr.End(j)
+		}
+		tr.End(run)
+		return tr.Spans()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Parent != b[i].Parent || a[i].Name != b[i].Name || a[i].Kind != b[i].Kind {
+			t.Errorf("span %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestNilTracerNoOp: every method of a nil tracer is safe, returns
+// zero values, and allocates nothing — the contract that lets the
+// engine call the tracer unconditionally.
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Start(0, KindRun, "x"); id != 0 {
+		t.Errorf("nil Start = %d", id)
+	}
+	tr.End(0)
+	tr.End(7)
+	tr.Add(3, "pairs", 1)
+	if tr.Observe(0, KindTask, "t", time.Now(), time.Now()) != 0 {
+		t.Error("nil Observe must return 0")
+	}
+	if tr.Spans() != nil {
+		t.Error("nil Spans must return nil")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		id := tr.Start(0, KindJob, "job")
+		tr.Add(id, "pairs", 1)
+		tr.End(id)
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer allocates %.1f per call group, want 0", allocs)
+	}
+}
+
+func TestEndIdempotentAndUnknown(t *testing.T) {
+	tr := New()
+	id := tr.Start(0, KindRun, "r")
+	tr.End(id)
+	d1 := tr.Spans()[0].Dur
+	time.Sleep(time.Millisecond)
+	tr.End(id) // second End must not stretch the duration
+	tr.End(99) // unknown is a no-op
+	if d2 := tr.Spans()[0].Dur; d2 != d1 {
+		t.Errorf("duration changed on double End: %v -> %v", d1, d2)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := New()
+	run := tr.Start(0, KindRun, "run")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.Start(run, KindTask, "t")
+				tr.Add(id, "n", 1)
+				tr.Add(run, "total", 1)
+				tr.End(id)
+			}
+		}()
+	}
+	wg.Wait()
+	tr.End(run)
+	spans := tr.Spans()
+	if len(spans) != 801 {
+		t.Fatalf("got %d spans, want 801", len(spans))
+	}
+	var root Span
+	for _, s := range spans {
+		if s.Kind == KindRun {
+			root = s
+		}
+	}
+	if root.Counter("total") != 800 {
+		t.Errorf("total = %d, want 800", root.Counter("total"))
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tr := New()
+	run := tr.Start(0, KindRun, "run")
+	job := tr.Start(run, KindJob, "j1")
+	tr.Add(job, "pairs", 7)
+	tr.End(job)
+	open := tr.Start(run, KindPhase, "never-ended")
+	_ = open
+	tr.End(run)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("line %d is not valid JSON: %s", i+1, line)
+		}
+	}
+
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Spans()
+	if len(back) != len(want) {
+		t.Fatalf("round-trip count %d, want %d", len(back), len(want))
+	}
+	for i := range back {
+		if back[i].ID != want[i].ID || back[i].Parent != want[i].Parent ||
+			back[i].Kind != want[i].Kind || back[i].Name != want[i].Name {
+			t.Errorf("span %d round-trip mismatch: %+v vs %+v", i, back[i], want[i])
+		}
+		if back[i].Counter("pairs") != want[i].Counter("pairs") {
+			t.Errorf("span %d counters mismatch", i)
+		}
+	}
+	if back[2].Dur != -1 {
+		t.Errorf("open span Dur = %v, want -1", back[2].Dur)
+	}
+}
+
+func TestWriteTreeSummary(t *testing.T) {
+	tr := New()
+	run := tr.Start(0, KindRun, "c-rep-l q2")
+	job := tr.Start(run, KindJob, "join")
+	sh := tr.Start(job, KindPhase, "shuffle")
+	// 100 pairs over 4 reducers with one holding 80 → skew 3.2×.
+	tr.Add(sh, "pairs", 100)
+	tr.Add(sh, "max_reducer_pairs", 80)
+	tr.Add(sh, "reducers", 4)
+	tr.Add(sh, "hot_reducer", 2)
+	tr.End(sh)
+	red := tr.Start(job, KindPhase, "reduce")
+	for i := 0; i < 20; i++ {
+		id := tr.Observe(red, KindTask, "r", time.Now(), time.Now().Add(time.Duration(i)*time.Microsecond))
+		_ = id
+	}
+	tr.End(red)
+	tr.End(job)
+	tr.End(run)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"run    c-rep-l q2",
+		"job    join",
+		"phase  shuffle",
+		"skew 3.2× (hot reducer 2)",
+		"task ×20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// 20 task attempts must be collapsed, not listed.
+	if n := strings.Count(out, "task   r"); n > 1 {
+		t.Errorf("tasks not collapsed (%d lines):\n%s", n, out)
+	}
+}
+
+func TestFindAndObserve(t *testing.T) {
+	tr := New()
+	run := tr.Start(0, KindRun, "run")
+	t0 := time.Now()
+	id := tr.Observe(run, KindTask, "map-0#1", t0, t0.Add(5*time.Millisecond))
+	if id == 0 {
+		t.Fatal("Observe returned 0 on live tracer")
+	}
+	tr.End(run)
+	tasks := tr.Find(KindTask, "map-0#1")
+	if len(tasks) != 1 || tasks[0].Dur != 5*time.Millisecond {
+		t.Errorf("Find = %+v", tasks)
+	}
+	if got := tr.Find(KindJob, ""); got != nil {
+		t.Errorf("Find(job) = %+v, want none", got)
+	}
+}

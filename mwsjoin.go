@@ -42,6 +42,7 @@ import (
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/refine"
 	"mwsjoin/internal/spatial"
+	"mwsjoin/internal/trace"
 )
 
 // Rect is an axis-aligned rectangle (x, y, l, b): start-point (top-left
@@ -139,13 +140,30 @@ type Options struct {
 	// backtracking order) from sampling-based cardinality estimates
 	// instead of plain graph connectivity. Results are unchanged.
 	OptimizeOrder bool
-	// MaxAttempts and FailMap inject deterministic mapper faults into
-	// every map-reduce job: before each attempt of mapper m, FailMap(m,
-	// attempt) decides whether the attempt crashes (its output is
-	// discarded and the task retried, up to MaxAttempts attempts).
+	// MaxAttempts, FailMap and FailReduce inject deterministic task
+	// faults into every map-reduce job: before each attempt of mapper m
+	// (reducer r), FailMap(m, attempt) (FailReduce(r, attempt)) decides
+	// whether the attempt crashes — its output is discarded and the task
+	// retried, up to MaxAttempts attempts.
 	MaxAttempts int
 	FailMap     func(mapper, attempt int) bool
+	FailReduce  func(reducer, attempt int) bool
+	// Tracer, when non-nil, records the execution as a hierarchy of
+	// timed spans with counters (run → round → job → phase → task); see
+	// NewTracer. The same tracer may collect several sequential runs.
+	Tracer *Tracer
 }
+
+// Tracer is the structured tracing collector; pass one via
+// Options.Tracer, then export with its WriteJSON (one span per line) or
+// WriteTree (human-readable phase tree) methods.
+type Tracer = trace.Tracer
+
+// TraceSpan is one exported span snapshot of a Tracer.
+type TraceSpan = trace.Span
+
+// NewTracer creates an empty tracer ready to record executions.
+func NewTracer() *Tracer { return trace.New() }
 
 // Run executes the query with the chosen method. rels[i] binds query
 // slot i; opts may be nil.
@@ -161,6 +179,8 @@ func Run(q *Query, rels []Relation, method Method, opts *Options) (*Result, erro
 		UseRTree:       o.UseRTree,
 		MaxAttempts:    o.MaxAttempts,
 		FailMap:        o.FailMap,
+		FailReduce:     o.FailReduce,
+		Tracer:         o.Tracer,
 		OptimizeOrder:  o.OptimizeOrder,
 	}
 	if o.EuclideanLimit {

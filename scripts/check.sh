@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh — the expanded tier-1 gate: vet, build, race-enabled tests
+# and a short parser fuzz. Run from the repo root (or via `make check`).
+#
+# The original tier-1 gate was `go build ./... && go test ./...`; this
+# script is a strict superset and is what CI and pre-commit runs should
+# call.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz (FuzzParseQuery, 5s) =="
+go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
+
+echo "== check.sh: all green =="
