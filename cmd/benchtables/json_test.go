@@ -1,0 +1,159 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mwsjoin/internal/bench"
+	"mwsjoin/internal/spatial"
+)
+
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out strings.Builder
+	err := run([]string{"-table", "table6", "-unit", "250", "-q", "-json", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := bench.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unit != 250 || rep.Seed != 2013 || rep.Reducers != 64 {
+		t.Errorf("report config = %d/%d/%d", rep.Unit, rep.Seed, rep.Reducers)
+	}
+	if !strings.Contains(rep.Regenerate, "-unit 250") || !strings.Contains(rep.Regenerate, "-json") {
+		t.Errorf("regenerate command incomplete: %q", rep.Regenerate)
+	}
+	tab := rep.Table("table6")
+	if tab == nil {
+		t.Fatal("report missing table6")
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("table6 has %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, c := range row.Cells {
+			if c.Skipped {
+				continue
+			}
+			// Method names survived the JSON round trip and the skew
+			// columns are populated and internally consistent.
+			if c.Method != spatial.ControlledReplicate && c.Method != spatial.ControlledReplicateLimit {
+				t.Errorf("row %s: unexpected method %v", row.Label, c.Method)
+			}
+			if c.Pairs <= 0 {
+				t.Errorf("row %s %v: no pairs", row.Label, c.Method)
+			}
+			if c.ReducerPairsMax < c.ReducerPairsP95 || c.ReducerPairsP95 < c.ReducerPairsP50 {
+				t.Errorf("row %s %v: quantiles out of order: p50=%d p95=%d max=%d",
+					row.Label, c.Method, c.ReducerPairsP50, c.ReducerPairsP95, c.ReducerPairsMax)
+			}
+			if c.Imbalance < 1 {
+				t.Errorf("row %s %v: imbalance %v < 1 (max cannot be below mean)",
+					row.Label, c.Method, c.Imbalance)
+			}
+		}
+	}
+}
+
+// TestBenchPR2Ordering guards the committed report: on every Table 2
+// row where both baselines ran, Controlled-Replicate must shuffle no
+// more intermediate pairs (and ship no more rectangle copies) than
+// All-Replicate — the paper's headline ordering.
+func TestBenchPR2Ordering(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "BENCH_PR2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := bench.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Table("table2")
+	if tab == nil {
+		t.Fatal("BENCH_PR2.json has no table2")
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("table2 has %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		cells := map[spatial.Method]bench.Cell{}
+		for _, c := range row.Cells {
+			if !c.Skipped {
+				cells[c.Method] = c
+			}
+		}
+		all, okA := cells[spatial.AllReplicate]
+		crep, okC := cells[spatial.ControlledReplicate]
+		if !okA || !okC {
+			continue
+		}
+		if crep.Pairs > all.Pairs {
+			t.Errorf("row %s: C-Rep shuffles %d pairs, more than All-Rep's %d",
+				row.Label, crep.Pairs, all.Pairs)
+		}
+		if crep.AfterReplication > all.AfterReplication {
+			t.Errorf("row %s: C-Rep ships %d copies, more than All-Rep's %d",
+				row.Label, crep.AfterReplication, all.AfterReplication)
+		}
+	}
+}
+
+// TestRunServeSmoke runs a tiny sweep with -serve and scrapes the live
+// endpoints while the server is still up: the merged registry carries
+// the map-reduce counters and the progress board names the sweep.
+func TestRunServeSmoke(t *testing.T) {
+	var metricsBody, progressBody string
+	testAfterTables = func(addr string) {
+		metricsBody = get(t, "http://"+addr+"/metrics")
+		progressBody = get(t, "http://"+addr+"/progress")
+	}
+	defer func() { testAfterTables = nil }()
+
+	var out strings.Builder
+	err := run([]string{"-table", "table6", "-unit", "250", "-q", "-serve", "127.0.0.1:0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsBody == "" {
+		t.Fatal("testAfterTables hook was not invoked")
+	}
+	for _, want := range []string{
+		"mapreduce_jobs_total", "mapreduce_reducer_pairs_bucket",
+		"spatial_runs_total", "mapreduce_intermediate_pairs_total",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %s:\n%.1000s", want, metricsBody)
+		}
+	}
+	for _, want := range []string{`"table": "table6"`, `"method"`, `"row"`} {
+		if !strings.Contains(progressBody, want) {
+			t.Errorf("/progress missing %s: %s", want, progressBody)
+		}
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

@@ -11,6 +11,8 @@
 //	benchtables -table table2       # one table
 //	benchtables -unit 50000         # closer to paper scale (slower)
 //	benchtables -md -o results.md   # markdown output for EXPERIMENTS.md
+//	benchtables -json BENCH.json    # machine-readable report with skew quantiles
+//	benchtables -serve :8080        # live /metrics + /progress while sweeping
 package main
 
 import (
@@ -22,8 +24,13 @@ import (
 	"time"
 
 	"mwsjoin/internal/bench"
+	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/spatial"
 )
+
+// testAfterTables, when set by tests, observes the bound -serve address
+// while the metrics server is still listening.
+var testAfterTables func(addr string)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -44,6 +51,8 @@ func run(args []string, stdout io.Writer) error {
 		outPath  = fs.String("o", "", "also write the output to this file")
 		quiet    = fs.Bool("q", false, "suppress per-run progress on stderr")
 		traceDir = fs.String("tracedir", "", "write per-cell trace files (<table>-<row>-<method>.{json,txt}) into this directory")
+		jsonPath = fs.String("json", "", "write the regenerated tables as a JSON report (rows, per-method stats, reducer-skew quantiles) to this file")
+		serve    = fs.String("serve", "", "serve live metrics on this address while sweeping (/metrics, /progress, /debug/pprof/*); :0 picks a free port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +61,19 @@ func run(args []string, stdout io.Writer) error {
 	cfg := bench.Config{Unit: *unit, Seed: *seed, Reducers: *reducers, SkipSlow: *skipSlow, TraceDir: *traceDir}
 	if !*quiet {
 		cfg.Log = os.Stderr
+	}
+	if *serve != "" {
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Progress = metrics.NewProgress()
+		addr, shutdown, err := metrics.ListenAndServe(*serve, cfg.Metrics, cfg.Progress)
+		if err != nil {
+			return err
+		}
+		defer shutdown() //nolint:errcheck // best-effort on exit
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (progress on /progress)\n", addr)
+		if testAfterTables != nil {
+			defer testAfterTables(addr)
+		}
 	}
 
 	ids := bench.TableIDs()
@@ -63,6 +85,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var out strings.Builder
+	var tables []*bench.Table
 	start := time.Now()
 	for _, id := range ids {
 		if !*quiet {
@@ -72,6 +95,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		tables = append(tables, t)
 		if *md {
 			out.WriteString(markdown(t))
 		} else {
@@ -86,10 +110,33 @@ func run(args []string, stdout io.Writer) error {
 	if _, err := io.WriteString(stdout, out.String()); err != nil {
 		return err
 	}
+	if *jsonPath != "" {
+		if err := writeReport(cfg, tables, *table, *jsonPath); err != nil {
+			return err
+		}
+	}
 	if *outPath != "" {
 		return os.WriteFile(*outPath, []byte(out.String()), 0o644)
 	}
 	return nil
+}
+
+// writeReport writes the JSON report, embedding the exact command that
+// regenerates it. All count columns are deterministic in
+// unit/seed/reducers; only the measured time columns vary per host.
+func writeReport(cfg bench.Config, tables []*bench.Table, tableSel, path string) error {
+	rep := bench.NewReport(cfg, "", tables)
+	rep.Regenerate = fmt.Sprintf("go run ./cmd/benchtables -table %s -unit %d -seed %d -reducers %d -q -json %s",
+		tableSel, rep.Unit, rep.Seed, rep.Reducers, path)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // markdown renders a table as a GitHub-flavoured markdown table.

@@ -13,6 +13,13 @@
 //
 // Output is one tuple per line (the rectangle indices bound to each
 // slot); -stats adds the cost metrics of §7.8.3 on stderr.
+//
+// -serve :8080 exposes live observability while the join runs
+// (Prometheus text on /metrics, JSON on /debug/vars, the Go profiler on
+// /debug/pprof/*). -explain skips the normal run and instead predicts
+// every map-reduce method's cost from samples, measures the actuals
+// with suppressed tuple output, and prints a predicted-vs-actual table
+// with relative errors.
 package main
 
 import (
@@ -25,6 +32,11 @@ import (
 
 	"mwsjoin"
 )
+
+// testAfterRun, when set by tests, observes the bound -serve address
+// and the final result (nil in -explain mode) while the metrics server
+// is still listening.
+var testAfterRun func(addr string, res *mwsjoin.Result)
 
 // exportTrace writes one tracer export to path ("" skips it).
 func exportTrace(tr *mwsjoin.Tracer, path string, write func(*mwsjoin.Tracer, io.Writer) error) error {
@@ -79,6 +91,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		selfPairs = fs.Bool("allow-self-pairs", false, "allow one rectangle in several self-join slots")
 		traceJSON = fs.String("trace", "", "write a JSON span timeline of the execution to this file (one span per line)")
 		traceTree = fs.String("trace-tree", "", "write a human-readable span tree of the execution to this file")
+		serveAddr = fs.String("serve", "", "serve live metrics on this address while running (/metrics, /debug/vars, /debug/pprof/*); :0 picks a free port")
+		explain   = fs.Bool("explain", false, "predict each map-reduce method's cost, measure the actuals, and print a predicted-vs-actual table (ignores -method and tuple output)")
+		skewThr   = fs.Float64("skew-threshold", 0, "reducer-skew ratio flagged in the -trace-tree export; 0 derives it from the measured job imbalance distribution")
 	)
 	fs.Var(rels, "rel", "slot binding <slot>=<file>; repeat once per slot")
 	if err := fs.Parse(args); err != nil {
@@ -121,20 +136,58 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *traceJSON != "" || *traceTree != "" {
 		tracer = mwsjoin.NewTracer()
 	}
-	res, err := mwsjoin.Run(q, bound, m, &mwsjoin.Options{
+	// The registry backs -serve, the -explain analyze runs, and the
+	// auto-derived -trace-tree skew threshold.
+	var reg *mwsjoin.MetricsRegistry
+	if *serveAddr != "" || *explain || (*traceTree != "" && *skewThr <= 0) {
+		reg = mwsjoin.NewMetricsRegistry()
+	}
+	var boundAddr string
+	if *serveAddr != "" {
+		addr, shutdown, err := mwsjoin.ServeMetrics(*serveAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer shutdown() //nolint:errcheck // best-effort on exit
+		boundAddr = addr
+		fmt.Fprintf(stderr, "serving metrics on http://%s/metrics\n", addr)
+	}
+	opts := mwsjoin.Options{
 		Reducers:       *reducers,
 		EuclideanLimit: *euclid,
 		AllowSelfPairs: *selfPairs,
 		Tracer:         tracer,
-	})
-	if err != nil {
-		return err
+		Metrics:        reg,
+	}
+
+	var res *mwsjoin.Result
+	if *explain {
+		if err := runExplain(q, bound, opts, stdout); err != nil {
+			return err
+		}
+	} else {
+		if res, err = mwsjoin.Run(q, bound, m, &opts); err != nil {
+			return err
+		}
 	}
 	if err := exportTrace(tracer, *traceJSON, (*mwsjoin.Tracer).WriteJSON); err != nil {
 		return err
 	}
-	if err := exportTrace(tracer, *traceTree, (*mwsjoin.Tracer).WriteTree); err != nil {
+	threshold := *skewThr
+	if threshold <= 0 {
+		threshold = mwsjoin.SuggestedSkewThreshold(reg)
+	}
+	err = exportTrace(tracer, *traceTree, func(tr *mwsjoin.Tracer, w io.Writer) error {
+		return tr.WriteTreeWith(w, mwsjoin.TraceTreeOptions{SkewThreshold: threshold})
+	})
+	if err != nil {
 		return err
+	}
+	if testAfterRun != nil {
+		testAfterRun(boundAddr, res)
+	}
+	if *explain {
+		return nil
 	}
 
 	if !*quiet {
@@ -153,7 +206,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if *stats {
-		s := res.Stats
+		s := res.Stats // res is non-nil: the explain branch returned above
 		fmt.Fprintf(stderr, "method:                  %v\n", s.Method)
 		fmt.Fprintf(stderr, "output tuples:           %d\n", s.OutputTuples)
 		fmt.Fprintf(stderr, "wall time:               %v\n", s.Wall)
@@ -169,4 +222,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// explainMethods are the map-reduce methods the -explain table covers
+// (BruteForce shuffles nothing, so there is no cost model to validate).
+var explainMethods = []mwsjoin.Method{
+	mwsjoin.Cascade, mwsjoin.AllReplicate,
+	mwsjoin.ControlledReplicate, mwsjoin.ControlledReplicateLimit,
+}
+
+// runExplain predicts each method's §7.8.3 cost figures from samples,
+// measures the actuals with CountOnly runs, and prints the
+// predicted-vs-actual table with relative errors.
+func runExplain(q *mwsjoin.Query, rels []mwsjoin.Relation, opts mwsjoin.Options, stdout io.Writer) error {
+	w := bufio.NewWriter(stdout)
+	fmt.Fprintf(w, "%-14s %7s %42s %42s %42s\n", "", "", "intermediate pairs", "rect copies to join round", "output tuples")
+	fmt.Fprintf(w, "%-14s %7s %14s %14s %12s %14s %14s %12s %14s %14s %12s\n",
+		"method", "rounds", "predicted", "actual", "rel err", "predicted", "actual", "rel err", "predicted", "actual", "rel err")
+	for _, m := range explainMethods {
+		pred, err := mwsjoin.Predict(q, rels, m, &opts)
+		if err != nil {
+			return err
+		}
+		o := opts
+		o.CountOnly = true
+		res, err := mwsjoin.Run(q, rels, m, &o)
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		fmt.Fprintf(w, "%-14v %7d %14.0f %14d %12s %14.0f %14d %12s %14.0f %14d %12s\n",
+			m, pred.Rounds,
+			pred.Pairs, s.IntermediatePairs(), relErr(pred.Pairs, s.IntermediatePairs()),
+			pred.Copies, s.RectanglesAfterReplication, relErr(pred.Copies, s.RectanglesAfterReplication),
+			pred.Tuples, s.OutputTuples, relErr(pred.Tuples, s.OutputTuples))
+	}
+	return w.Flush()
+}
+
+// relErr formats the signed relative error of a prediction against the
+// measured value ("n/a" when the actual is zero).
+func relErr(predicted float64, actual int64) string {
+	if actual == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(predicted-float64(actual))/float64(actual))
 }

@@ -25,6 +25,8 @@ import (
 
 	"mwsjoin/internal/dataset"
 	"mwsjoin/internal/geom"
+	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/spatial"
 	"mwsjoin/internal/trace"
@@ -51,6 +53,15 @@ type Config struct {
 	// if missing): <table>-<row>-<method>.json (span timeline, one span
 	// per line) and .txt (the human-readable phase tree).
 	TraceDir string
+	// Metrics, when non-nil, accumulates every measured cell's counters
+	// and distributions: each cell runs against a private registry
+	// (whose reducer-pair histogram yields the cell's skew quantiles)
+	// that is then merged into this one, so a -serve scrape sees the
+	// whole sweep so far.
+	Metrics *metrics.Registry
+	// Progress, when non-nil, receives the table/row/method currently
+	// being measured (served as /progress JSON by benchtables -serve).
+	Progress *metrics.Progress
 
 	// traceTable is the id stamped into trace filenames; each TableN
 	// sets it on its private copy.
@@ -112,35 +123,43 @@ const (
 	simNetBytesPerSec  = 125e6 // aggregate shuffle throughput (~1 GbE)
 )
 
-// Cell is one measured method on one row.
+// Cell is one measured method on one row. The JSON tags define the
+// schema of the -json report (durations serialise as nanoseconds).
 type Cell struct {
-	Method           spatial.Method
-	Time             time.Duration // measured wall time, in-process
-	SimTime          time.Duration // Time + modelled DFS and shuffle cost
-	Replicated       int64         // §7.8.3 "number of rectangles replicated"
-	AfterReplication int64         // §7.8.3 parenthesised copy count
-	Pairs            int64         // intermediate key-value pairs, all rounds
-	PairBytes        int64         // intermediate bytes, all rounds
-	DFSBytes         int64         // simulated DFS bytes read+written
-	Skipped          bool
+	Method           spatial.Method `json:"method"`
+	Time             time.Duration  `json:"time_ns"`           // measured wall time, in-process
+	SimTime          time.Duration  `json:"sim_time_ns"`       // Time + modelled DFS and shuffle cost
+	Replicated       int64          `json:"replicated"`        // §7.8.3 "number of rectangles replicated"
+	AfterReplication int64          `json:"after_replication"` // §7.8.3 parenthesised copy count
+	Pairs            int64          `json:"pairs"`             // intermediate key-value pairs, all rounds
+	PairBytes        int64          `json:"pair_bytes"`        // intermediate bytes, all rounds
+	DFSBytes         int64          `json:"dfs_bytes"`         // simulated DFS bytes read+written
+	// Per-reducer distribution of the intermediate pair counts across
+	// all rounds: quantiles plus the max/mean imbalance factor — the
+	// skew view behind the paper's MaxReducerSkew column.
+	ReducerPairsP50 int64   `json:"reducer_pairs_p50"`
+	ReducerPairsP95 int64   `json:"reducer_pairs_p95"`
+	ReducerPairsMax int64   `json:"reducer_pairs_max"`
+	Imbalance       float64 `json:"imbalance"`
+	Skipped         bool    `json:"skipped,omitempty"`
 }
 
 // Row is one sweep point of a table.
 type Row struct {
-	Label  string
-	Cells  []Cell
-	Tuples int64 // output size (identical across methods)
+	Label  string `json:"label"`
+	Cells  []Cell `json:"cells"`
+	Tuples int64  `json:"tuples"` // output size (identical across methods)
 }
 
 // Table is a regenerated paper table.
 type Table struct {
-	ID      string
-	Title   string
-	Query   string
-	Sweep   string
-	Methods []spatial.Method
-	Rows    []Row
-	Notes   []string
+	ID      string           `json:"id"`
+	Title   string           `json:"title"`
+	Query   string           `json:"query"`
+	Sweep   string           `json:"sweep"`
+	Methods []spatial.Method `json:"methods"`
+	Rows    []Row            `json:"rows"`
+	Notes   []string         `json:"notes,omitempty"`
 }
 
 // runRow executes the query with each method and fills one row.
@@ -150,7 +169,10 @@ func runRow(cfg Config, label string, q *query.Query, rels []spatial.Relation, m
 	if err != nil {
 		return row, err
 	}
+	cfg.Progress.Set("table", cfg.traceTable)
+	cfg.Progress.Set("row", label)
 	for _, m := range methods {
+		cfg.Progress.Set("method", m.String())
 		if skip[m] {
 			row.Cells = append(row.Cells, Cell{Method: m, Skipped: true})
 			cfg.logf("  %-14s %-16s skipped", label, m)
@@ -162,7 +184,11 @@ func runRow(cfg Config, label string, q *query.Query, rels []spatial.Relation, m
 		if cfg.TraceDir != "" {
 			tr = trace.New()
 		}
-		res, err := spatial.Execute(m, q, rels, spatial.Config{Part: part, CountOnly: true, Tracer: tr})
+		// Each cell measures into a private registry so its reducer-skew
+		// distribution is isolated; the snapshot then rolls up into the
+		// long-lived Config.Metrics registry behind -serve.
+		reg := metrics.NewRegistry()
+		res, err := spatial.Execute(m, q, rels, spatial.Config{Part: part, CountOnly: true, Tracer: tr, Metrics: reg})
 		if err != nil {
 			return row, fmt.Errorf("bench: %s %v: %w", label, m, err)
 		}
@@ -171,11 +197,14 @@ func runRow(cfg Config, label string, q *query.Query, rels []spatial.Relation, m
 				return row, err
 			}
 		}
+		snap := reg.Snapshot()
+		cfg.Metrics.Merge(snap)
 		var pairBytes int64
 		for _, r := range res.Stats.Rounds {
 			pairBytes += r.IntermediateBytes
 		}
 		dfsBytes := res.Stats.DFS.BytesRead + res.Stats.DFS.BytesWritten
+		pairsH := snap.Histograms[mapreduce.ReducerPairsHistogram]
 		cell := Cell{
 			Method:           m,
 			Time:             res.Stats.Wall,
@@ -185,6 +214,10 @@ func runRow(cfg Config, label string, q *query.Query, rels []spatial.Relation, m
 			Pairs:            res.Stats.IntermediatePairs(),
 			PairBytes:        pairBytes,
 			DFSBytes:         dfsBytes,
+			ReducerPairsP50:  pairsH.Quantile(0.5),
+			ReducerPairsP95:  pairsH.Quantile(0.95),
+			ReducerPairsMax:  pairsH.Max,
+			Imbalance:        pairsH.Imbalance(),
 		}
 		row.Cells = append(row.Cells, cell)
 		row.Tuples = res.Stats.OutputTuples

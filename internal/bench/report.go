@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the JSON document `benchtables -json` writes: the resolved
+// generator configuration (everything needed to reproduce the count
+// columns exactly; the time columns are host-dependent measurements)
+// plus the regenerated tables. BENCH_PR2.json at the
+// repository root is one such report, committed at a small
+// deterministic scale as a regression anchor for the paper's method
+// ordering.
+type Report struct {
+	Unit     int    `json:"unit"`
+	Seed     uint64 `json:"seed"`
+	Reducers int    `json:"reducers"`
+	// Regenerate is the exact command that rebuilds this report.
+	Regenerate string   `json:"regenerate"`
+	Tables     []*Table `json:"tables"`
+}
+
+// NewReport assembles a report from a config (defaults applied) and the
+// tables it generated.
+func NewReport(cfg Config, regenerate string, tables []*Table) *Report {
+	cfg = cfg.withDefaults()
+	return &Report{
+		Unit: cfg.Unit, Seed: cfg.Seed, Reducers: cfg.Reducers,
+		Regenerate: regenerate, Tables: tables,
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: parse report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Table returns the report's table with the given id, nil if absent.
+func (r *Report) Table(id string) *Table {
+	for _, t := range r.Tables {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}

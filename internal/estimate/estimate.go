@@ -41,6 +41,14 @@ func NewSampler(size int, seed uint64) *Sampler {
 	return &Sampler{size: size, seed: seed}
 }
 
+// Sample draws min(size, len(rects)) rectangles without replacement,
+// deterministically from the sampler's seed and a stream id. Distinct
+// stream ids give independent draws; the EXPLAIN cost model uses one
+// stream per query slot to estimate per-rectangle replication fanouts.
+func (s *Sampler) Sample(rects []geom.Rect, stream uint64) []geom.Rect {
+	return s.sample(rects, stream)
+}
+
 // sample draws min(size, len(rects)) rectangles without replacement,
 // deterministically from the sampler's seed and a stream id.
 func (s *Sampler) sample(rects []geom.Rect, stream uint64) []geom.Rect {

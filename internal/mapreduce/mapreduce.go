@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/trace"
 )
 
@@ -70,6 +71,12 @@ type Config struct {
 	// under (0 for a root job span). A nil Tracer costs nothing.
 	Tracer      *trace.Tracer
 	TraceParent trace.SpanID
+	// Metrics, when non-nil, receives the job's live counters and
+	// distributions (see the mapreduce_* names in DESIGN.md): flat
+	// totals mirroring Stats, per-reducer pair/key/byte histograms,
+	// map/reduce task-latency histograms, and the per-job imbalance
+	// factor. A nil registry costs nothing.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -201,6 +208,10 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	start := time.Now()
 	tr := cfg.Tracer
 	traced := tr != nil
+	// Task attempts are timed when either observability surface wants
+	// them: the tracer logs them as spans, the registry as latency
+	// histograms.
+	timed := traced || cfg.Metrics != nil
 	jobSpan := tr.Start(cfg.TraceParent, trace.KindJob, cfg.Name)
 	defer tr.End(jobSpan)
 
@@ -220,7 +231,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	attempts := make([]int64, nm)
 	failures := make([]int64, nm)
 	var mapLogs [][]taskAttempt
-	if traced {
+	if timed {
 		mapLogs = make([][]taskAttempt, nm)
 	}
 
@@ -230,7 +241,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 			attempts[m]++
 			var t0 time.Time
-			if traced {
+			if timed {
 				t0 = time.Now()
 			}
 			out := make([]pairBatch[K, V], cfg.NumReducers)
@@ -247,7 +258,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				err = safeMap(j.Map, input[i], emit)
 			}
 			injected := cfg.FailMap != nil && cfg.FailMap(m, attempt)
-			if traced {
+			if timed {
 				mapLogs[m] = append(mapLogs[m], taskAttempt{start: t0, end: time.Now(), failed: injected})
 			}
 			if injected {
@@ -297,6 +308,10 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		vals []V
 	}
 	rin := make([]reducerInput, cfg.NumReducers)
+	var bytesPerReducer []int64
+	if j.PairBytes != nil {
+		bytesPerReducer = make([]int64, cfg.NumReducers)
+	}
 	for r := 0; r < cfg.NumReducers; r++ {
 		var total int
 		for m := 0; m < nm; m++ {
@@ -312,8 +327,9 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		stats.IntermediatePairs += int64(total)
 		if j.PairBytes != nil {
 			for i := range rin[r].keys {
-				stats.IntermediateBytes += int64(j.PairBytes(rin[r].keys[i], rin[r].vals[i]))
+				bytesPerReducer[r] += int64(j.PairBytes(rin[r].keys[i], rin[r].vals[i]))
 			}
+			stats.IntermediateBytes += bytesPerReducer[r]
 		}
 	}
 	batches = nil
@@ -341,7 +357,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	redAttempts := make([]int64, cfg.NumReducers)
 	redFailures := make([]int64, cfg.NumReducers)
 	var redLogs [][]taskAttempt
-	if traced {
+	if timed {
 		redLogs = make([][]taskAttempt, cfg.NumReducers)
 	}
 	runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) {
@@ -365,7 +381,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 			redAttempts[r]++
 			var t0 time.Time
-			if traced {
+			if timed {
 				t0 = time.Now()
 			}
 			var out []O
@@ -378,7 +394,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				}
 			}
 			injected := cfg.FailReduce != nil && cfg.FailReduce(r, attempt)
-			if traced {
+			if timed {
 				redLogs[r] = append(redLogs[r], taskAttempt{start: t0, end: time.Now(), failed: injected})
 			}
 			if injected {
@@ -439,7 +455,86 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		tr.Add(jobSpan, "reduce_attempts", stats.ReduceAttempts)
 		tr.Add(jobSpan, "reduce_failures", stats.ReduceFailures)
 	}
+	recordMetrics(cfg.Metrics, stats, keyCounts, bytesPerReducer, mapLogs, redLogs)
 	return out, stats, nil
+}
+
+// JobImbalanceHistogram is the registry histogram observing each job's
+// reducer imbalance factor (MaxReducerSkew ×1000, so the log buckets
+// resolve fractional factors).
+const JobImbalanceHistogram = "mapreduce_job_imbalance_x1000"
+
+// ReducerPairsHistogram is the registry histogram observing every
+// reducer's intermediate pair count across jobs — the distribution
+// behind the skew quantiles reported by the bench harness.
+const ReducerPairsHistogram = "mapreduce_reducer_pairs"
+
+// recordMetrics publishes one finished job into the live registry: flat
+// counters mirroring Stats exactly, per-reducer pair/key/byte
+// distributions, task-attempt latency distributions, and the job's
+// imbalance factor. A nil registry records nothing.
+func recordMetrics(m *metrics.Registry, stats *Stats, keyCounts, bytesPerReducer []int64, mapLogs, redLogs [][]taskAttempt) {
+	if m == nil {
+		return
+	}
+	m.Counter("mapreduce_jobs_total").Add(1)
+	m.Counter("mapreduce_map_input_records_total").Add(stats.MapInputRecords)
+	m.Counter("mapreduce_intermediate_pairs_total").Add(stats.IntermediatePairs)
+	m.Counter("mapreduce_intermediate_bytes_total").Add(stats.IntermediateBytes)
+	m.Counter("mapreduce_reduce_input_keys_total").Add(stats.ReduceInputKeys)
+	m.Counter("mapreduce_reduce_output_records_total").Add(stats.ReduceOutputRecords)
+	m.Counter("mapreduce_map_attempts_total").Add(stats.MapAttempts)
+	m.Counter("mapreduce_map_failures_total").Add(stats.MapFailures)
+	m.Counter("mapreduce_reduce_attempts_total").Add(stats.ReduceAttempts)
+	m.Counter("mapreduce_reduce_failures_total").Add(stats.ReduceFailures)
+
+	pairsH := m.Histogram("mapreduce_reducer_pairs")
+	keysH := m.Histogram("mapreduce_reducer_keys")
+	var bytesH *metrics.Histogram
+	if bytesPerReducer != nil {
+		bytesH = m.Histogram("mapreduce_reducer_bytes")
+	}
+	for r, pairs := range stats.PairsPerReducer {
+		pairsH.Observe(pairs)
+		keysH.Observe(keyCounts[r])
+		if bytesPerReducer != nil {
+			bytesH.Observe(bytesPerReducer[r])
+		}
+	}
+	imb := int64(stats.MaxReducerSkew() * 1000)
+	m.Gauge("mapreduce_last_job_imbalance_x1000").Set(imb)
+	m.Histogram(JobImbalanceHistogram).Observe(imb)
+
+	mapH := m.Histogram("mapreduce_map_task_micros")
+	for _, attempts := range mapLogs {
+		for _, a := range attempts {
+			mapH.Observe(a.end.Sub(a.start).Microseconds())
+		}
+	}
+	redH := m.Histogram("mapreduce_reduce_task_micros")
+	for _, attempts := range redLogs {
+		for _, a := range attempts {
+			redH.Observe(a.end.Sub(a.start).Microseconds())
+		}
+	}
+}
+
+// SuggestedSkewThreshold derives a reducer-skew flagging threshold for
+// the trace tree exporter from the measured per-job imbalance-factor
+// distribution in the registry: 1.5× the median job imbalance, floored
+// at trace.DefaultSkewThreshold so well-balanced workloads keep the
+// strict default. With no registry (or no recorded jobs) it returns the
+// default, so callers can pass the result unconditionally.
+func SuggestedSkewThreshold(reg *metrics.Registry) float64 {
+	h := reg.Histogram(JobImbalanceHistogram).Snapshot()
+	if h.Count == 0 {
+		return trace.DefaultSkewThreshold
+	}
+	thr := 1.5 * float64(h.Quantile(0.5)) / 1000
+	if thr < trace.DefaultSkewThreshold {
+		thr = trace.DefaultSkewThreshold
+	}
+	return thr
 }
 
 // taskAttempt is one task attempt's locally measured timing, logged

@@ -1,0 +1,27 @@
+// Bridge between the tracing layer and the metrics registry: every
+// counter increment recorded on a span is forwarded into the registry
+// as trace_<kind>_<counter>, so the two observability surfaces can
+// never diverge — the scraped trace_job_pairs total IS the sum of the
+// "pairs" counters over all job spans, by construction rather than by
+// double bookkeeping. Tests cross-check these bridged counters against
+// both the flat Stats and the engine's directly recorded metrics.
+package metrics
+
+import "mwsjoin/internal/trace"
+
+// spanSink adapts a Registry to the trace.CounterSink interface.
+type spanSink struct {
+	reg *Registry
+}
+
+// NewSpanSink returns a trace counter sink that accumulates every span
+// counter increment into reg under the name trace_<kind>_<counter>.
+// Attach it with (*trace.Tracer).SetSink.
+func NewSpanSink(reg *Registry) trace.CounterSink {
+	return spanSink{reg: reg}
+}
+
+// SpanCounter implements trace.CounterSink.
+func (s spanSink) SpanCounter(kind trace.Kind, _ string, counter string, delta int64) {
+	s.reg.Counter("trace_" + SanitizeName(string(kind)) + "_" + SanitizeName(counter)).Add(delta)
+}

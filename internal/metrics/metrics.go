@@ -1,0 +1,483 @@
+// Package metrics is the live-observability counterpart of the
+// post-hoc tracing layer (mwsjoin/internal/trace): a concurrency-safe
+// registry of named counters, gauges and streaming histograms that the
+// map-reduce engine, the simulated DFS and the spatial executors update
+// while they run. Where a trace answers "where did this finished run
+// spend its pairs and bytes", the registry answers "what is the system
+// doing right now, and how is the load distributed" — it is what the
+// HTTP exposition endpoints (see http.go) serve and what the
+// EXPLAIN/ANALYZE mode validates the cost model against.
+//
+// The paper's central claim is distributional: Controlled-Replicate
+// wins because it ships fewer intermediate pairs AND balances them
+// better across reducers (§7.8.3). Histograms here therefore use a
+// fixed logarithmic bucket scheme — bucket i holds values v with
+// 2^(i-1) ≤ v < 2^i — so per-task histograms recorded independently on
+// concurrent goroutines MERGE EXACTLY into the global distribution:
+// same buckets, bucket-wise sum. Quantile estimates are then correct to
+// within one bucket (a factor of 2), which is ample for skew factors.
+//
+// A nil *Registry is a valid no-op, mirroring the nil-Tracer idiom:
+// every method on a nil registry (and on the nil Counter/Gauge/
+// Histogram handles it returns) is safe and allocation-free, so hot
+// paths may record unconditionally.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// numBuckets is the fixed bucket count of every histogram: bucket 0
+// holds values ≤ 0 and bucket i (1..63) holds values in
+// [2^(i-1), 2^i). int64 values never need a 65th bucket.
+const numBuckets = 64
+
+// bucketOf maps a value to its fixed log bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i — the value
+// a quantile estimate reports for ranks landing in that bucket.
+func BucketUpper(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= 63:
+		return math.MaxInt64
+	default:
+		return 1<<i - 1
+	}
+}
+
+// Counter is a monotonically increasing int64. The nil Counter (from a
+// nil Registry) ignores updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; nil-safe.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count; 0 on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-latest int64 (e.g. the imbalance factor of the most
+// recent job, ×1000). The nil Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value; nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value; 0 on nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a streaming distribution over int64 values with the
+// package's fixed log-bucket scheme. It additionally tracks exact
+// count, sum, min and max, so Mean and Imbalance (max/mean) are exact
+// even though quantiles are bucket-resolution. Safe for concurrent use;
+// the nil Histogram ignores observations.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [numBuckets]int64
+}
+
+// Observe records one value; nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// merge folds a snapshot into the live histogram (bucket-wise sum; the
+// fixed bucket scheme makes this exact).
+func (h *Histogram) merge(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if h.count == 0 || s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	for i, n := range s.Buckets {
+		h.buckets[i] += n
+	}
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	s.Buckets = make([]int64, numBuckets)
+	copy(s.Buckets, h.buckets[:])
+	return s
+}
+
+// HistogramSnapshot is an exported, immutable view of a histogram.
+// Buckets[i] counts observations in bucket i of the fixed scheme.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Merge returns the exact bucket-wise union of two snapshots — the
+// distribution a single histogram would hold had it observed both
+// streams.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := HistogramSnapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Min:   min(s.Min, o.Min),
+		Max:   max(s.Max, o.Max),
+	}
+	out.Buckets = make([]int64, numBuckets)
+	for i := range out.Buckets {
+		var a, b int64
+		if i < len(s.Buckets) {
+			a = s.Buckets[i]
+		}
+		if i < len(o.Buckets) {
+			b = o.Buckets[i]
+		}
+		out.Buckets[i] = a + b
+	}
+	return out
+}
+
+// Mean returns the exact mean of the observed values, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// values: the upper bound of the bucket holding the rank-⌈q·count⌉
+// value, clamped into [Min, Max]. The estimate always falls in the same
+// bucket as the exact order statistic.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			v := BucketUpper(i)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// Imbalance returns the max/mean ratio of the observed values — the
+// reducer load-imbalance factor when one value per reducer was observed
+// (1 = perfectly balanced). It returns 0 when the histogram is empty or
+// the mean is not positive.
+func (s HistogramSnapshot) Imbalance() float64 {
+	mean := s.Mean()
+	if mean <= 0 {
+		return 0
+	}
+	return float64(s.Max) / mean
+}
+
+// Registry holds named metrics. Metric handles are get-or-create and
+// stable: callers may cache them. All methods are safe for concurrent
+// use and nil-safe (a nil registry hands out nil handles, whose updates
+// are no-ops).
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every metric's current value. Counter and gauge
+// maps are plain name → value; histogram snapshots carry their buckets.
+// A nil registry snapshots empty.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot returns a point-in-time copy of all metrics.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// Merge folds a snapshot into the registry: counters add, gauges take
+// the snapshot's value, histograms merge bucket-wise. Used to roll
+// per-run registries up into a long-lived serving registry (the bench
+// harness merges each measured cell's registry into the one behind
+// -serve).
+func (r *Registry) Merge(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(name).merge(hs)
+	}
+}
+
+// Names returns the sorted keys of a string-keyed map — exposition
+// helpers use it for deterministic output.
+func names[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SanitizeName maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_]; every other rune becomes '_'.
+func SanitizeName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && i > 0:
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Progress is a tiny concurrency-safe key→value map served as the
+// /progress JSON snapshot: long bench runs publish their current
+// table/row/method so an operator can see where a multi-minute sweep
+// is without attaching a debugger. A nil Progress ignores updates.
+type Progress struct {
+	mu     sync.Mutex
+	fields map[string]any
+}
+
+// NewProgress creates an empty progress board.
+func NewProgress() *Progress {
+	return &Progress{fields: make(map[string]any)}
+}
+
+// Set publishes one field; nil-safe.
+func (p *Progress) Set(key string, value any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fields[key] = value
+}
+
+// Snapshot returns a copy of the current fields.
+func (p *Progress) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if p == nil {
+		return out
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, v := range p.fields {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the progress fields as "k=v" pairs in key order.
+func (p *Progress) String() string {
+	snap := p.Snapshot()
+	var out string
+	for i, k := range names(snap) {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", k, snap[k])
+	}
+	return out
+}

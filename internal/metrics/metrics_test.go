@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketScheme pins the fixed log-bucket invariants the mergeability
+// argument rests on: every value lands in exactly one bucket, and the
+// bucket's upper bound is the smallest representative ≥ the value.
+func TestBucketScheme(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 62, 63}, {1<<63 - 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		if up := BucketUpper(bucketOf(c.v)); up < c.v {
+			t.Errorf("BucketUpper(bucketOf(%d)) = %d < value", c.v, up)
+		}
+		if c.v > 1 {
+			if lo := BucketUpper(bucketOf(c.v) - 1); lo >= c.v {
+				t.Errorf("BucketUpper(%d-1) = %d should be < %d", bucketOf(c.v), lo, c.v)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeEqualsGlobal is the property the tentpole is built
+// on: values split arbitrarily across per-task histograms merge into a
+// snapshot identical (count, sum, min, max, every bucket) to one global
+// histogram that observed the whole stream.
+func TestHistogramMergeEqualsGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		global := &Histogram{}
+		tasks := make([]*Histogram, 1+rng.Intn(8))
+		for i := range tasks {
+			tasks[i] = &Histogram{}
+		}
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			// Heavy-tailed values, including 0 and negatives.
+			v := int64(rng.Intn(1<<uint(rng.Intn(40)))) - 3
+			global.Observe(v)
+			tasks[rng.Intn(len(tasks))].Observe(v)
+		}
+		merged := HistogramSnapshot{}
+		for _, task := range tasks {
+			merged = merged.Merge(task.Snapshot())
+		}
+		if want := global.Snapshot(); !reflect.DeepEqual(merged, want) {
+			t.Fatalf("trial %d: merged %+v != global %+v", trial, merged, want)
+		}
+	}
+}
+
+// TestQuantileWithinBucket checks the accuracy contract: the quantile
+// estimate falls in the same log bucket as the exact order statistic and
+// inside [Min, Max].
+func TestQuantileWithinBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		h := &Histogram{}
+		n := 1 + rng.Intn(400)
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(1 << uint(1+rng.Intn(30))))
+			h.Observe(values[i])
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			exact := values[rank-1]
+			got := s.Quantile(q)
+			if bucketOf(got) != bucketOf(exact) {
+				t.Fatalf("trial %d q=%v: estimate %d in bucket %d, exact %d in bucket %d",
+					trial, q, got, bucketOf(got), exact, bucketOf(exact))
+			}
+			if got < s.Min || got > s.Max {
+				t.Fatalf("q=%v: estimate %d outside [%d,%d]", q, got, s.Min, s.Max)
+			}
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{1, 2, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 16 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("mean = %v, want 4", s.Mean())
+	}
+	if s.Imbalance() != 2.5 {
+		t.Fatalf("imbalance = %v, want 2.5", s.Imbalance())
+	}
+	if (HistogramSnapshot{}).Imbalance() != 0 {
+		t.Fatal("empty snapshot should have imbalance 0")
+	}
+}
+
+// TestConcurrentRegistry hammers get-or-create handles and every update
+// path from many goroutines; run under -race it is the stress test, and
+// the final values must still be exact.
+func TestConcurrentRegistry(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("shared_total").Add(1)
+				reg.Counter("other_total").Add(2)
+				reg.Gauge("level").Set(int64(w))
+				reg.Histogram("dist").Observe(int64(i))
+				if i%10 == 0 {
+					reg.Snapshot() // concurrent readers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("shared_total = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Counter("other_total").Value(); got != 2*workers*perWorker {
+		t.Errorf("other_total = %d, want %d", got, 2*workers*perWorker)
+	}
+	s := reg.Histogram("dist").Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("dist count = %d, want %d", s.Count, workers*perWorker)
+	}
+	wantSum := int64(workers) * perWorker * (perWorker - 1) / 2
+	if s.Sum != wantSum {
+		t.Errorf("dist sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+// TestNilSafety exercises the documented no-op contract of nil handles.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("c").Add(5)
+	reg.Gauge("g").Set(5)
+	reg.Histogram("h").Observe(5)
+	reg.Merge(Snapshot{Counters: map[string]int64{"c": 1}})
+	if v := reg.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if s := reg.Histogram("h").Snapshot(); s.Count != 0 {
+		t.Errorf("nil histogram snapshot = %+v", s)
+	}
+	if s := reg.Snapshot(); len(s.Counters) != 0 {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+	var p *Progress
+	p.Set("k", 1)
+	if got := p.Snapshot(); len(got) != 0 {
+		t.Errorf("nil progress snapshot = %v", got)
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("jobs_total").Add(3)
+	a.Gauge("last").Set(7)
+	a.Histogram("sizes").Observe(4)
+
+	b := NewRegistry()
+	b.Counter("jobs_total").Add(2)
+	b.Gauge("last").Set(9)
+	b.Histogram("sizes").Observe(100)
+
+	a.Merge(b.Snapshot())
+	if got := a.Counter("jobs_total").Value(); got != 5 {
+		t.Errorf("merged counter = %d, want 5", got)
+	}
+	if got := a.Gauge("last").Value(); got != 9 {
+		t.Errorf("merged gauge = %d, want 9", got)
+	}
+	s := a.Histogram("sizes").Snapshot()
+	if s.Count != 2 || s.Sum != 104 || s.Min != 4 || s.Max != 100 {
+		t.Errorf("merged histogram = %+v", s)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"dfs_reads_total": "dfs_reads_total",
+		"run":             "run",
+		"7seven":          "_seven",
+		"a-b.c d":         "a_b_c_d",
+		"x9":              "x9",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestProgress(t *testing.T) {
+	p := NewProgress()
+	p.Set("table", "table2")
+	p.Set("row", 3)
+	if got := p.String(); got != "row=3 table=table2" {
+		t.Errorf("progress string = %q", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"mwsjoin/internal/geom"
 	"mwsjoin/internal/grid"
 	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/sweep"
 )
@@ -109,7 +110,7 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 				return nil
 			},
 			Partition: mapreduce.IdentityPartition[grid.CellID],
-			Reduce:    cascadeReduce(pl, exec.part, newSlot, keyPos, edges, primary, discard, &counted),
+			Reduce:    cascadeReduce(pl, exec.part, newSlot, keyPos, edges, primary, discard, &counted, exec.cfg.Metrics),
 			PairBytes: func(_ grid.CellID, rec cascadeRecord) int {
 				if rec.isTuple {
 					return 4 + encodedPartialBytes(len(rec.tuple.IDs))
@@ -163,9 +164,11 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 // to one cell with a forward plane sweep over the tuples' key
 // rectangles and the items — the classic SJMR-style in-reducer join
 // (§5).
-func cascadeReduce(pl *plan, part *grid.Partitioning, newSlot, keyPos int, edges []query.Edge, primary query.Edge, discard bool, counted *atomic.Int64) func(grid.CellID, []cascadeRecord, func(partial)) error {
+func cascadeReduce(pl *plan, part *grid.Partitioning, newSlot, keyPos int, edges []query.Edge, primary query.Edge, discard bool, counted *atomic.Int64, reg *metrics.Registry) func(grid.CellID, []cascadeRecord, func(partial)) error {
 	d := primary.Pred.Weight()
 	return func(c grid.CellID, recs []cascadeRecord, emit func(partial)) error {
+		var local int64
+		defer func() { observeCell(reg, int64(len(recs)), local) }()
 		var tuples []partial
 		var keys []geom.Rect
 		var ids []int32
@@ -197,6 +200,7 @@ func cascadeReduce(pl *plan, part *grid.Partitioning, newSlot, keyPos int, edges
 			if !ok || part.CellOf(inter.Start()) != c {
 				return true
 			}
+			local++
 			if discard {
 				counted.Add(1)
 				return true

@@ -7,6 +7,7 @@ import (
 
 	"mwsjoin/internal/grid"
 	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/metrics"
 )
 
 // allReplicate runs the naive one-round All-Replicate baseline (§6.1):
@@ -34,7 +35,7 @@ func allReplicate(pl *plan, exec *executor) (*Result, error) {
 			return nil
 		},
 		Partition: mapreduce.IdentityPartition[grid.CellID],
-		Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted),
+		Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
 		PairBytes: taggedPairBytes,
 	}
 	tuples, st, err := job.Run(input)
@@ -157,7 +158,7 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 			return nil
 		},
 		Partition: mapreduce.IdentityPartition[grid.CellID],
-		Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted),
+		Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
 		PairBytes: taggedPairBytes,
 	}
 	tuples, st2, err := round2.Run(staged)
@@ -190,17 +191,34 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 // assignments, and emit exactly the tuples whose §6.2
 // duplicate-avoidance point falls in this reducer's cell. Every emitted
 // tuple also bumps counted; with countOnly the tuple itself is dropped.
-func joinReduce(pl *plan, part *grid.Partitioning, countOnly bool, counted *atomic.Int64) func(grid.CellID, []tagged, func(Tuple)) error {
+// A non-nil registry observes each cell's candidate and output counts
+// (spatial_cell_candidates / spatial_cell_tuples), the distributions the
+// skew quantiles come from.
+func joinReduce(pl *plan, part *grid.Partitioning, countOnly bool, counted *atomic.Int64, reg *metrics.Registry) func(grid.CellID, []tagged, func(Tuple)) error {
 	return func(c grid.CellID, items []tagged, emit func(Tuple)) error {
 		cd := newCellData(pl.m, items)
+		var local int64
 		pl.matchInCell(cd, part, c, func(assign []int) {
-			counted.Add(1)
+			local++
 			if !countOnly {
 				emit(tupleOf(cd, assign))
 			}
 		})
+		counted.Add(local)
+		observeCell(reg, int64(len(items)), local)
 		return nil
 	}
+}
+
+// observeCell records one reducer cell's candidate input size and
+// locally produced tuple count. Discarded attempts under injected
+// reduce faults observe again, mirroring the work actually performed.
+func observeCell(reg *metrics.Registry, candidates, tuples int64) {
+	if reg == nil {
+		return
+	}
+	reg.Histogram("spatial_cell_candidates").Observe(candidates)
+	reg.Histogram("spatial_cell_tuples").Observe(tuples)
 }
 
 // taggedPairBytes sizes an intermediate (cell, item) pair: 4 bytes of

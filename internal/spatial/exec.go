@@ -10,6 +10,7 @@ import (
 	"mwsjoin/internal/geom"
 	"mwsjoin/internal/grid"
 	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/trace"
 )
@@ -50,6 +51,16 @@ type Config struct {
 	// beneath. DFS I/O counters are attributed to the active round, so
 	// a traced execution must not share its FS with concurrent runs.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives the execution's live counters and
+	// distributions: the engine's mapreduce_* metrics for every job,
+	// the dfs_* I/O metrics, spatial_* run totals, and per-grid-cell
+	// candidate/output histograms from the join reducers. When Tracer
+	// is also set, the tracer's span counters are bridged into the same
+	// registry as trace_<kind>_<counter> totals, so trace and metrics
+	// views stay consistent by construction. Like the FS trace target,
+	// the registry is attached to the FS for the duration of the run, so
+	// a metered execution must not share its FS with concurrent runs.
+	Metrics *metrics.Registry
 	// OptimizeOrder replaces the default connectivity join order with a
 	// cost-based one derived from sampling estimates (footnote 1 of the
 	// paper assumes Cascade runs its 2-way joins in the optimal order).
@@ -173,6 +184,16 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 		defer fs.SetTrace(nil, 0)
 	}
 	defer exec.tr.End(exec.runSpan)
+	if cfg.Metrics != nil {
+		fs.SetMetrics(cfg.Metrics)
+		defer fs.SetMetrics(nil)
+		if cfg.Tracer != nil {
+			// Bridge span counters into the registry for the duration of
+			// the run so trace totals and metrics totals cannot diverge.
+			cfg.Tracer.SetSink(metrics.NewSpanSink(cfg.Metrics))
+			defer cfg.Tracer.SetSink(nil)
+		}
+	}
 
 	before := fs.Stats()
 	if err := exec.stageInputs(); err != nil {
@@ -205,6 +226,14 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 		exec.tr.Add(exec.runSpan, "copies", res.Stats.RectanglesAfterReplication)
 		exec.tr.Add(exec.runSpan, "rounds", int64(len(res.Stats.Rounds)))
 	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.Counter("spatial_runs_total").Add(1)
+		reg.Counter("spatial_output_tuples_total").Add(res.Stats.OutputTuples)
+		reg.Counter("spatial_intermediate_pairs_total").Add(res.Stats.IntermediatePairs())
+		reg.Counter("spatial_rectangles_replicated_total").Add(res.Stats.RectanglesReplicated)
+		reg.Counter("spatial_rectangle_copies_total").Add(res.Stats.RectanglesAfterReplication)
+		reg.Counter("spatial_rounds_total").Add(int64(len(res.Stats.Rounds)))
+	}
 	return res, nil
 }
 
@@ -221,6 +250,7 @@ func (e *executor) jobConfig(name string) mapreduce.Config {
 		FailReduce:  e.cfg.FailReduce,
 		Tracer:      e.tr,
 		TraceParent: e.cur,
+		Metrics:     e.cfg.Metrics,
 	}
 }
 

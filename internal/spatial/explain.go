@@ -1,0 +1,287 @@
+package spatial
+
+import (
+	"fmt"
+
+	"mwsjoin/internal/estimate"
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/query"
+)
+
+// Prediction is the EXPLAIN-mode cost estimate for one method: the
+// paper's §7.8.3 figures of merit predicted from uniform samples and
+// the replication cost model, without running the join. Execute with
+// the same Config yields the actuals a prediction is validated against
+// (the mwsjoin -explain mode prints both with relative errors).
+type Prediction struct {
+	Method Method
+	// Rounds is the number of map-reduce jobs the method will run.
+	Rounds int
+	// RoundPairs predicts the intermediate key-value pairs shuffled by
+	// each job, in execution order; Pairs is their sum — the predicted
+	// counterpart of Stats.IntermediatePairs.
+	RoundPairs []float64
+	Pairs      float64
+	// Replicated predicts the rectangles chosen for replication
+	// (Stats.RectanglesReplicated).
+	Replicated float64
+	// Copies predicts the rectangle copies communicated to the join
+	// round's reducers (Stats.RectanglesAfterReplication).
+	Copies float64
+	// Tuples predicts the output cardinality (Stats.OutputTuples).
+	Tuples float64
+}
+
+// Predict estimates the cost of running the query with the given method
+// under the same configuration Execute would use. The estimator draws
+// deterministic uniform samples (estimate.Sampler with the planner's
+// fixed seed), so predictions are reproducible. BruteForce predicts
+// zero communication: it runs no map-reduce job.
+func Predict(method Method, q *query.Query, rels []Relation, cfg Config) (*Prediction, error) {
+	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree)
+	if err != nil {
+		return nil, err
+	}
+	sampler := estimate.NewSampler(0, 2013)
+	if cfg.OptimizeOrder {
+		pl.optimizeOrder(rels, sampler)
+	}
+	part := cfg.Part
+	if part == nil {
+		if part, err = DefaultPartitioning(rels, 0); err != nil {
+			return nil, err
+		}
+	}
+	pr := &predictor{pl: pl, part: part, rels: rels, sampler: sampler, metric: cfg.LimitMetric}
+
+	p := &Prediction{Method: method}
+	switch method {
+	case BruteForce:
+		// Single-machine reference: no shuffle, no replication.
+	case Cascade:
+		p.RoundPairs = pr.cascadePairs()
+	case AllReplicate:
+		p.RoundPairs, p.Replicated, p.Copies = pr.allReplicate()
+	case ControlledReplicate:
+		p.RoundPairs, p.Replicated, p.Copies, err = pr.controlledReplicate(false)
+	case ControlledReplicateLimit:
+		p.RoundPairs, p.Replicated, p.Copies, err = pr.controlledReplicate(true)
+	default:
+		return nil, fmt.Errorf("spatial: unknown method %v", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.Rounds = len(p.RoundPairs)
+	for _, n := range p.RoundPairs {
+		p.Pairs += n
+	}
+	p.Tuples = pr.outputTuples()
+	return p, nil
+}
+
+// predictor carries the sampled per-slot state of one Predict call.
+type predictor struct {
+	pl      *plan
+	part    *grid.Partitioning
+	rels    []Relation
+	sampler *estimate.Sampler
+	metric  grid.Metric
+
+	rects   [][]geom.Rect // lazily built full rect slices per slot
+	samples [][]geom.Rect // lazily drawn per-slot samples
+}
+
+// slotRects returns all rectangles of slot s.
+func (pr *predictor) slotRects(s int) []geom.Rect {
+	if pr.rects == nil {
+		pr.rects = make([][]geom.Rect, len(pr.rels))
+	}
+	if pr.rects[s] == nil {
+		items := pr.rels[s].Items
+		rs := make([]geom.Rect, len(items))
+		for i, it := range items {
+			rs[i] = it.R
+		}
+		pr.rects[s] = rs
+	}
+	return pr.rects[s]
+}
+
+// slotSample returns the deterministic uniform sample of slot s.
+func (pr *predictor) slotSample(s int) []geom.Rect {
+	if pr.samples == nil {
+		pr.samples = make([][]geom.Rect, len(pr.rels))
+	}
+	if pr.samples[s] == nil {
+		// Streams 1 and 2 are used by JoinCardinality; slot fanout
+		// samples start at 3.
+		pr.samples[s] = pr.sampler.Sample(pr.slotRects(s), uint64(s)+3)
+	}
+	return pr.samples[s]
+}
+
+// sampleMean returns the mean of f over slot s's sample — E[f(r)] for a
+// uniformly drawn rectangle of the slot.
+func (pr *predictor) sampleMean(s int, f func(geom.Rect) float64) float64 {
+	sample := pr.slotSample(s)
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range sample {
+		sum += f(r)
+	}
+	return sum / float64(len(sample))
+}
+
+// slotMean scales the sample mean of f up to the slot's full
+// cardinality: Σ over all rectangles of slot s of E[f(r)].
+func (pr *predictor) slotMean(s int, f func(geom.Rect) float64) float64 {
+	return pr.sampleMean(s, f) * float64(len(pr.slotRects(s)))
+}
+
+// chain estimates the intermediate cardinality after each prefix of the
+// plan order: chain[p] is the predicted number of partial tuples over
+// order[:p+1]. This is the same independence-chaining the cost-based
+// planner uses: the first connecting edge scales by card/N and every
+// further connecting edge filters multiplicatively by its selectivity.
+func (pr *predictor) chain() []float64 {
+	pl := pr.pl
+	out := make([]float64, pl.m)
+	out[0] = float64(len(pr.slotRects(pl.order[0])))
+	est := out[0]
+	for p := 1; p < pl.m; p++ {
+		s := pl.order[p]
+		grow := est
+		for i, e := range pl.edgesToPrev[p] {
+			o := e.Other(s)
+			card := pr.sampler.JoinCardinality(pr.slotRects(o), pr.slotRects(s), e.Pred)
+			no := float64(len(pr.slotRects(o)))
+			ns := float64(len(pr.slotRects(s)))
+			if i == 0 {
+				if no == 0 {
+					grow = 0
+				} else {
+					grow = est * card / no
+				}
+			} else if no*ns > 0 {
+				grow *= card / (no * ns)
+			}
+		}
+		est = grow
+		out[p] = est
+	}
+	return out
+}
+
+// outputTuples predicts the final result cardinality.
+func (pr *predictor) outputTuples() float64 {
+	c := pr.chain()
+	return c[len(c)-1]
+}
+
+// cascadePairs predicts the shuffle volume of each 2-way cascade step:
+// the current partials split by their (d-enlarged) key rectangle plus
+// the new slot's relation split by its rectangles. The key rectangle of
+// a partial is a rectangle of the key slot's base relation, so that
+// relation's sampled split factor stands in for the partials'.
+func (pr *predictor) cascadePairs() []float64 {
+	pl := pr.pl
+	if pl.m == 1 {
+		return nil
+	}
+	chain := pr.chain()
+	out := make([]float64, 0, pl.m-1)
+	for p := 1; p < pl.m; p++ {
+		newSlot := pl.order[p]
+		primary := pl.edgesToPrev[p][pl.primary[p]]
+		keySlot := primary.Other(newSlot)
+		d := primary.Pred.Weight()
+		keySplit := pr.sampleMean(keySlot, func(r geom.Rect) float64 {
+			if d > 0 {
+				r = r.Enlarge(d)
+			}
+			return float64(pr.part.SplitCount(r))
+		})
+		newSplits := pr.slotMean(newSlot, func(r geom.Rect) float64 {
+			return float64(pr.part.SplitCount(r))
+		})
+		out = append(out, chain[p-1]*keySplit+newSplits)
+	}
+	return out
+}
+
+// allReplicate predicts the one-round All-Replicate shuffle: every
+// rectangle ships to all cells of its 4th quadrant.
+func (pr *predictor) allReplicate() (rounds []float64, replicated, copies float64) {
+	var pairs float64
+	for s := range pr.rels {
+		pairs += pr.slotMean(s, func(r geom.Rect) float64 {
+			return float64(pr.part.FourthQuadrantCount(r))
+		})
+		replicated += float64(len(pr.slotRects(s)))
+	}
+	return []float64{pairs}, replicated, pairs
+}
+
+// controlledReplicate predicts C-Rep's two rounds. Round one splits
+// every rectangle. For round two the marking conditions C1–C4 are
+// approximated per sampled rectangle by the dominant C2 test: a
+// rectangle is predicted marked when, enlarged by the largest incident
+// predicate weight of its slot, it crosses a cell boundary. Marked
+// rectangles replicate with f1 (or f2 within the §7.9 radius when limit
+// is set); unmarked ones project once.
+func (pr *predictor) controlledReplicate(limit bool) (rounds []float64, replicated, copies float64, err error) {
+	var bounds []float64
+	if limit {
+		dmax := make([]float64, pr.pl.m)
+		for s, rel := range pr.rels {
+			dmax[s] = rel.MaxDiagonal()
+		}
+		if bounds, err = pr.pl.q.ReplicationBounds(dmax); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	var round1, round2 float64
+	for s := range pr.rels {
+		round1 += pr.slotMean(s, func(r geom.Rect) float64 {
+			return float64(pr.part.SplitCount(r))
+		})
+		ds := 0.0
+		for _, e := range pr.pl.q.EdgesAt(s) {
+			if w := e.Pred.Weight(); w > ds {
+				ds = w
+			}
+		}
+		round2 += pr.slotMean(s, func(r geom.Rect) float64 {
+			if !pr.predictMarked(r, ds) {
+				return 1 // projected to its start cell only
+			}
+			if limit {
+				n := 0
+				pr.part.ForEachReplicateF2(r, bounds[s], pr.metric, func(grid.CellID) { n++ })
+				return float64(n)
+			}
+			return float64(pr.part.FourthQuadrantCount(r))
+		})
+		replicated += pr.slotMean(s, func(r geom.Rect) float64 {
+			if pr.predictMarked(r, ds) {
+				return 1
+			}
+			return 0
+		})
+	}
+	return []float64{round1, round2}, replicated, round2, nil
+}
+
+// predictMarked is the sampled marking test: enlarging by the slot's
+// largest incident predicate weight folds the range-predicate cases of
+// C2 into the boundary-crossing test.
+func (pr *predictor) predictMarked(r geom.Rect, ds float64) bool {
+	if ds > 0 {
+		r = r.Enlarge(ds)
+	}
+	return pr.part.Crosses(r)
+}

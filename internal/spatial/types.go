@@ -20,6 +20,7 @@
 package spatial
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -112,6 +113,26 @@ func (m Method) String() string {
 		return s
 	}
 	return fmt.Sprintf("method(%d)", uint8(m))
+}
+
+// MarshalJSON renders the method as its String name, so JSON bench
+// reports are readable and stable across renumberings of the constants.
+func (m Method) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON parses a method name as printed by String.
+func (m *Method) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParseMethod(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // ParseMethod resolves a method name as printed by String.

@@ -70,21 +70,47 @@ func ReadJSON(r io.Reader) ([]Span, error) {
 	}
 }
 
-// skewThreshold is the max/mean reducer-load ratio above which the
-// tree summary flags a hot cell. 2× means the hottest reducer holds
-// at least twice the mean load.
-const skewThreshold = 2.0
+// DefaultSkewThreshold is the max/mean reducer-load ratio above which
+// the tree summary flags a hot cell when no explicit threshold is
+// configured. 2× means the hottest reducer holds at least twice the
+// mean load.
+const DefaultSkewThreshold = 2.0
 
 // maxTasksShown bounds the task-attempt lines printed per phase; a
 // larger phase is collapsed to its slowest attempt plus a summary.
 const maxTasksShown = 8
 
-// WriteTree renders the span hierarchy as an indented, human-readable
-// summary: per-span wall time, percentage of its run, sorted counters,
-// and a reducer-skew flag on shuffle phases whose hottest reducer
-// exceeds skewThreshold times the mean load. Phases with many task
-// attempts are collapsed to the slowest attempt.
+// TreeOptions tunes the human-readable tree export.
+type TreeOptions struct {
+	// SkewThreshold is the max/mean reducer-load ratio above which a
+	// shuffle span is flagged as skewed; ≤ 0 uses
+	// DefaultSkewThreshold. Callers with a metrics registry attached
+	// can derive a workload-aware value from the measured
+	// imbalance-factor distribution (see
+	// mapreduce.SuggestedSkewThreshold) instead of the fixed default.
+	SkewThreshold float64
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.SkewThreshold <= 0 {
+		o.SkewThreshold = DefaultSkewThreshold
+	}
+	return o
+}
+
+// WriteTree renders the span hierarchy with default options; see
+// WriteTreeWith.
 func (t *Tracer) WriteTree(w io.Writer) error {
+	return t.WriteTreeWith(w, TreeOptions{})
+}
+
+// WriteTreeWith renders the span hierarchy as an indented,
+// human-readable summary: per-span wall time, percentage of its run,
+// sorted counters, and a reducer-skew flag on shuffle phases whose
+// hottest reducer exceeds opts.SkewThreshold times the mean load.
+// Phases with many task attempts are collapsed to the slowest attempt.
+func (t *Tracer) WriteTreeWith(w io.Writer, opts TreeOptions) error {
+	opts = opts.withDefaults()
 	spans := t.Spans()
 	children := make(map[SpanID][]Span, len(spans))
 	for _, s := range spans {
@@ -96,14 +122,14 @@ func (t *Tracer) WriteTree(w io.Writer) error {
 		if total <= 0 {
 			total = 1 // open or instant root: avoid div by zero
 		}
-		writeTreeNode(bw, children, root, "", total)
+		writeTreeNode(bw, children, root, "", total, opts)
 	}
 	return bw.Flush()
 }
 
 // writeTreeNode prints one span line and recurses into its children.
-func writeTreeNode(w *bufio.Writer, children map[SpanID][]Span, s Span, indent string, total time.Duration) {
-	fmt.Fprintf(w, "%s%s\n", indent, formatSpanLine(s, total))
+func writeTreeNode(w *bufio.Writer, children map[SpanID][]Span, s Span, indent string, total time.Duration, opts TreeOptions) {
+	fmt.Fprintf(w, "%s%s\n", indent, formatSpanLine(s, total, opts))
 
 	kids := children[s.ID]
 	var tasks, others []Span
@@ -116,11 +142,11 @@ func writeTreeNode(w *bufio.Writer, children map[SpanID][]Span, s Span, indent s
 	}
 	childIndent := nextIndent(indent)
 	for _, k := range others {
-		writeTreeNode(w, children, k, childIndent, total)
+		writeTreeNode(w, children, k, childIndent, total, opts)
 	}
 	if len(tasks) <= maxTasksShown {
 		for _, k := range tasks {
-			writeTreeNode(w, children, k, childIndent, total)
+			writeTreeNode(w, children, k, childIndent, total, opts)
 		}
 		return
 	}
@@ -144,7 +170,7 @@ func nextIndent(indent string) string { return indent + "  " }
 
 // formatSpanLine renders one span: kind, name, duration, percentage of
 // the run, counters, and the hot-cell flag.
-func formatSpanLine(s Span, total time.Duration) string {
+func formatSpanLine(s Span, total time.Duration, opts TreeOptions) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-6s %s", s.Kind, s.Name)
 	if s.Dur < 0 {
@@ -162,7 +188,7 @@ func formatSpanLine(s Span, total time.Duration) string {
 		}
 		b.WriteByte(']')
 	}
-	if skew, hot, flagged := spanSkew(s); flagged {
+	if skew, hot, flagged := spanSkew(s, opts.SkewThreshold); flagged {
 		fmt.Fprintf(&b, "  ⚠ skew %.1f× (hot reducer %d)", skew, hot)
 	}
 	return b.String()
@@ -171,7 +197,7 @@ func formatSpanLine(s Span, total time.Duration) string {
 // spanSkew computes max/mean reducer load from a span's shuffle
 // counters (pairs, max_reducer_pairs, reducers) and reports whether it
 // crosses the flagging threshold.
-func spanSkew(s Span) (skew float64, hot int64, flagged bool) {
+func spanSkew(s Span, threshold float64) (skew float64, hot int64, flagged bool) {
 	pairs := s.Counter("pairs")
 	maxPairs := s.Counter("max_reducer_pairs")
 	reducers := s.Counter("reducers")
@@ -179,7 +205,7 @@ func spanSkew(s Span) (skew float64, hot int64, flagged bool) {
 		return 0, 0, false
 	}
 	skew = float64(maxPairs) * float64(reducers) / float64(pairs)
-	return skew, s.Counter("hot_reducer"), skew >= skewThreshold
+	return skew, s.Counter("hot_reducer"), skew >= threshold
 }
 
 // formatDur rounds a duration for display.

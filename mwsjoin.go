@@ -38,6 +38,8 @@ import (
 	"mwsjoin/internal/dataset"
 	"mwsjoin/internal/geom"
 	"mwsjoin/internal/grid"
+	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/pointquery"
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/refine"
@@ -152,6 +154,19 @@ type Options struct {
 	// timed spans with counters (run → round → job → phase → task); see
 	// NewTracer. The same tracer may collect several sequential runs.
 	Tracer *Tracer
+	// Metrics, when non-nil, receives live counters, gauges and
+	// reducer-load histograms while the run executes; see
+	// NewMetricsRegistry. The same registry may collect several
+	// sequential runs and be served over HTTP concurrently (see
+	// ServeMetrics), but two concurrent Run calls must not share one
+	// registry-attached FS. When Tracer is also set, span counters are
+	// bridged into the registry as trace_<kind>_<counter> totals.
+	Metrics *MetricsRegistry
+	// CountOnly suppresses materialisation of the output tuples:
+	// Result.Tuples stays nil while Stats.OutputTuples still carries the
+	// exact count. Use for cost measurement (the -explain mode) where
+	// only the counters matter.
+	CountOnly bool
 }
 
 // Tracer is the structured tracing collector; pass one via
@@ -165,9 +180,69 @@ type TraceSpan = trace.Span
 // NewTracer creates an empty tracer ready to record executions.
 func NewTracer() *Tracer { return trace.New() }
 
+// TraceTreeOptions tunes the Tracer's human-readable tree export; pass
+// to (*Tracer).WriteTreeWith. The zero value uses the defaults.
+type TraceTreeOptions = trace.TreeOptions
+
+// SuggestedSkewThreshold derives a workload-aware reducer-skew warning
+// threshold for the trace-tree export from the job imbalance factors the
+// registry has observed: 1.5× the median job's max/mean reducer load,
+// floored at the fixed default so balanced workloads keep the strict
+// 2× flag. With no recorded jobs (or a nil registry) it returns the
+// default.
+func SuggestedSkewThreshold(reg *MetricsRegistry) float64 {
+	return mapreduce.SuggestedSkewThreshold(reg)
+}
+
+// MetricsRegistry is the live metrics collector; pass one via
+// Options.Metrics and inspect it with its Snapshot method, serve it with
+// ServeMetrics, or render it with WritePrometheus.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's metrics.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ServeMetrics starts an HTTP observability server for the registry on
+// addr (":0" picks a free port): Prometheus text on /metrics, a JSON
+// snapshot on /debug/vars and the Go profiler on /debug/pprof/*. It
+// returns the bound address and a shutdown function.
+func ServeMetrics(addr string, reg *MetricsRegistry) (bound string, shutdown func() error, err error) {
+	return metrics.ListenAndServe(addr, reg, nil)
+}
+
+// Prediction is the EXPLAIN-mode cost estimate of Predict.
+type Prediction = spatial.Prediction
+
+// Predict estimates, without running the join, the cost figures Run
+// would report for the query under the given method and options: the
+// intermediate key-value pairs shuffled per round, the rectangles
+// replicated and their copies, and the output cardinality. Sampling is
+// deterministic, so repeated calls agree. Compare against an actual
+// Run's Stats to validate the paper's cost model (§7.8.3) on your data.
+func Predict(q *Query, rels []Relation, method Method, opts *Options) (*Prediction, error) {
+	cfg, err := buildConfig(rels, opts)
+	if err != nil {
+		return nil, err
+	}
+	return spatial.Predict(method, q, rels, cfg)
+}
+
 // Run executes the query with the chosen method. rels[i] binds query
 // slot i; opts may be nil.
 func Run(q *Query, rels []Relation, method Method, opts *Options) (*Result, error) {
+	cfg, err := buildConfig(rels, opts)
+	if err != nil {
+		return nil, err
+	}
+	return spatial.Execute(method, q, rels, cfg)
+}
+
+// buildConfig translates public Options into the executor config shared
+// by Run and Predict.
+func buildConfig(rels []Relation, opts *Options) (spatial.Config, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -181,7 +256,9 @@ func Run(q *Query, rels []Relation, method Method, opts *Options) (*Result, erro
 		FailMap:        o.FailMap,
 		FailReduce:     o.FailReduce,
 		Tracer:         o.Tracer,
+		Metrics:        o.Metrics,
 		OptimizeOrder:  o.OptimizeOrder,
+		CountOnly:      o.CountOnly,
 	}
 	if o.EuclideanLimit {
 		cfg.LimitMetric = grid.MetricEuclidean
@@ -189,11 +266,11 @@ func Run(q *Query, rels []Relation, method Method, opts *Options) (*Result, erro
 	if cfg.Part == nil && o.Reducers > 0 {
 		part, err := spatial.DefaultPartitioning(rels, o.Reducers)
 		if err != nil {
-			return nil, err
+			return spatial.Config{}, err
 		}
 		cfg.Part = part
 	}
-	return spatial.Execute(method, q, rels, cfg)
+	return cfg, nil
 }
 
 // SyntheticParams re-exports the synthetic workload parameters of the

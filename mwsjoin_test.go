@@ -185,6 +185,84 @@ func TestRunExactPublicAPI(t *testing.T) {
 	}
 }
 
+func TestMetricsPublicAPI(t *testing.T) {
+	roads := CaliforniaRoadsRelation("roads", 400, 5)
+	rels := []Relation{roads, roads, roads}
+	q, err := ParseQuery("a ov b and b ov c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	tracer := NewTracer()
+	res, err := Run(q, rels, ControlledReplicate, &Options{
+		Reducers: 16, Metrics: reg, Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OutputTuples == 0 || res.Stats.IntermediatePairs() == 0 {
+		t.Fatalf("degenerate run: %+v", res.Stats)
+	}
+
+	// The live registry, the flat Stats, and the bridged trace span
+	// counters must agree exactly.
+	snap := reg.Snapshot()
+	s := res.Stats
+	for name, want := range map[string]int64{
+		"spatial_runs_total":                 1,
+		"spatial_output_tuples_total":        s.OutputTuples,
+		"spatial_intermediate_pairs_total":   s.IntermediatePairs(),
+		"mapreduce_jobs_total":               int64(len(s.Rounds)),
+		"mapreduce_intermediate_pairs_total": s.IntermediatePairs(),
+		"trace_job_pairs":                    s.IntermediatePairs(),
+		"trace_run_tuples":                   s.OutputTuples,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	// Per-reducer distribution: the histogram saw every reducer of every
+	// job and its sum is the total pair count.
+	h := snap.Histograms["mapreduce_reducer_pairs"]
+	if h.Sum != s.IntermediatePairs() {
+		t.Errorf("reducer_pairs sum = %d, want %d", h.Sum, s.IntermediatePairs())
+	}
+	if h.Count != int64(len(s.Rounds)*16) {
+		t.Errorf("reducer_pairs count = %d, want %d", h.Count, len(s.Rounds)*16)
+	}
+	if thr := SuggestedSkewThreshold(reg); thr < 2.0 {
+		t.Errorf("suggested skew threshold = %v, want ≥ the 2.0 default", thr)
+	}
+
+	// CountOnly reproduces the exact counters without materialising.
+	res2, err := Run(q, rels, ControlledReplicate, &Options{Reducers: 16, CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Tuples != nil {
+		t.Error("CountOnly materialised tuples")
+	}
+	if res2.Stats.OutputTuples != s.OutputTuples {
+		t.Errorf("CountOnly tuples = %d, want %d", res2.Stats.OutputTuples, s.OutputTuples)
+	}
+
+	// Predictions are deterministic and carry the method's round count.
+	p1, err := Predict(q, rels, ControlledReplicate, &Options{Reducers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Predict(q, rels, ControlledReplicate, &Options{Reducers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("Predict not deterministic: %+v vs %+v", p1, p2)
+	}
+	if p1.Rounds != 2 || p1.Pairs <= 0 || p1.Tuples <= 0 {
+		t.Errorf("c-rep prediction = %+v", p1)
+	}
+}
+
 func TestQuantilePartitioningPublicAPI(t *testing.T) {
 	roads := CaliforniaRoadsRelation("roads", 5000, 9)
 	rels := []Relation{roads, roads, roads}

@@ -1,6 +1,7 @@
 #!/bin/sh
-# check.sh — the expanded tier-1 gate: vet, build, race-enabled tests
-# and a short parser fuzz. Run from the repo root (or via `make check`).
+# check.sh — the expanded tier-1 gate: gofmt, vet, build, race-enabled
+# tests, an observability smoke test and a short parser fuzz. Run from
+# the repo root (or via `make check`).
 #
 # The original tier-1 gate was `go build ./... && go test ./...`; this
 # script is a strict superset and is what CI and pre-commit runs should
@@ -8,6 +9,14 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -17,6 +26,9 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== serve smoke (scraped /metrics counters == final Stats) =="
+go test -run 'TestServeSmoke' -count=1 ./cmd/mwsjoin
 
 echo "== fuzz (FuzzParseQuery, 5s) =="
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
