@@ -110,6 +110,76 @@ func TestBenchPR2Ordering(t *testing.T) {
 	}
 }
 
+// TestBenchPR3MatchesPR2 guards the shuffle-pipeline rewrite: the
+// sort-based shuffle, map-side combiners and cascade pre-sort must not
+// change any published Table 2 cost counter. Both committed reports
+// were generated at unit=1000 seed=2013 reducers=64, so every
+// deterministic counter — intermediate pairs, rectangles replicated,
+// copies after replication — and the output tuple counts must agree
+// cell for cell.
+func TestBenchPR3MatchesPR2(t *testing.T) {
+	read := func(name string) *bench.Table {
+		f, err := os.Open(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rep, err := bench.ReadReport(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Unit != 1000 || rep.Seed != 2013 || rep.Reducers != 64 {
+			t.Fatalf("%s config = %d/%d/%d, want 1000/2013/64", name, rep.Unit, rep.Seed, rep.Reducers)
+		}
+		tab := rep.Table("table2")
+		if tab == nil {
+			t.Fatalf("%s has no table2", name)
+		}
+		return tab
+	}
+	before := read("BENCH_PR2.json")
+	after := read("BENCH_PR3.json")
+	if len(before.Rows) != len(after.Rows) {
+		t.Fatalf("row count changed: %d vs %d", len(before.Rows), len(after.Rows))
+	}
+	for i, rowB := range before.Rows {
+		rowA := after.Rows[i]
+		if rowB.Label != rowA.Label {
+			t.Fatalf("row %d label %q vs %q", i, rowB.Label, rowA.Label)
+		}
+		if rowB.Tuples != rowA.Tuples {
+			t.Errorf("row %s: tuples %d -> %d", rowB.Label, rowB.Tuples, rowA.Tuples)
+		}
+		if len(rowB.Cells) != len(rowA.Cells) {
+			t.Fatalf("row %s cell count changed", rowB.Label)
+		}
+		for j, cb := range rowB.Cells {
+			ca := rowA.Cells[j]
+			if cb.Method != ca.Method || cb.Skipped != ca.Skipped {
+				t.Fatalf("row %s cell %d identity changed", rowB.Label, j)
+			}
+			if cb.Skipped {
+				continue
+			}
+			if cb.Pairs != ca.Pairs {
+				t.Errorf("row %s %v: pairs %d -> %d", rowB.Label, cb.Method, cb.Pairs, ca.Pairs)
+			}
+			if cb.Replicated != ca.Replicated {
+				t.Errorf("row %s %v: replicated %d -> %d", rowB.Label, cb.Method, cb.Replicated, ca.Replicated)
+			}
+			if cb.AfterReplication != ca.AfterReplication {
+				t.Errorf("row %s %v: after_replication %d -> %d", rowB.Label, cb.Method, cb.AfterReplication, ca.AfterReplication)
+			}
+			// Combiners fired means they dropped pairs; on well-formed
+			// inputs the mark-round dedup must be a pure pass-through.
+			if ca.CombineIn != ca.CombineOut {
+				t.Errorf("row %s %v: combiner dropped pairs (%d in, %d out)",
+					rowB.Label, ca.Method, ca.CombineIn, ca.CombineOut)
+			}
+		}
+	}
+}
+
 // TestRunServeSmoke runs a tiny sweep with -serve and scrapes the live
 // endpoints while the server is still up: the merged registry carries
 // the map-reduce counters and the progress board names the sweep.

@@ -216,6 +216,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "rects after replication: %d\n", s.RectanglesAfterReplication)
 		fmt.Fprintf(stderr, "dfs bytes written:       %d\n", s.DFS.BytesWritten)
 		fmt.Fprintf(stderr, "dfs bytes read:          %d\n", s.DFS.BytesRead)
+		var combineIn, combineOut int64
+		for _, r := range s.Rounds {
+			combineIn += r.CombineInputPairs
+			combineOut += r.CombineOutputPairs
+		}
+		if combineIn > 0 {
+			fmt.Fprintf(stderr, "combiner pairs in/out:   %d/%d\n", combineIn, combineOut)
+		}
 		for i, r := range s.Rounds {
 			fmt.Fprintf(stderr, "round %d (%s): pairs=%d keys=%d skew=%.2f map=%v reduce=%v\n",
 				i+1, r.Job, r.IntermediatePairs, r.ReduceInputKeys, r.MaxReducerSkew(), r.MapWall, r.ReduceWall)

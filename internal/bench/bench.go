@@ -141,7 +141,14 @@ type Cell struct {
 	ReducerPairsP95 int64   `json:"reducer_pairs_p95"`
 	ReducerPairsMax int64   `json:"reducer_pairs_max"`
 	Imbalance       float64 `json:"imbalance"`
-	Skipped         bool    `json:"skipped,omitempty"`
+	// Map-side combiner traffic over all rounds: pairs entering and
+	// leaving combiners. Equal counts mean the combiners never fired
+	// (the expected state on well-formed inputs — the mark round's
+	// dedup combiner is a pure pass-through there). Omitted for rounds
+	// without a combiner.
+	CombineIn  int64 `json:"combine_in,omitempty"`
+	CombineOut int64 `json:"combine_out,omitempty"`
+	Skipped    bool  `json:"skipped,omitempty"`
 }
 
 // Row is one sweep point of a table.
@@ -199,9 +206,11 @@ func runRow(cfg Config, label string, q *query.Query, rels []spatial.Relation, m
 		}
 		snap := reg.Snapshot()
 		cfg.Metrics.Merge(snap)
-		var pairBytes int64
+		var pairBytes, combineIn, combineOut int64
 		for _, r := range res.Stats.Rounds {
 			pairBytes += r.IntermediateBytes
+			combineIn += r.CombineInputPairs
+			combineOut += r.CombineOutputPairs
 		}
 		dfsBytes := res.Stats.DFS.BytesRead + res.Stats.DFS.BytesWritten
 		pairsH := snap.Histograms[mapreduce.ReducerPairsHistogram]
@@ -218,6 +227,8 @@ func runRow(cfg Config, label string, q *query.Query, rels []spatial.Relation, m
 			ReducerPairsP95:  pairsH.Quantile(0.95),
 			ReducerPairsMax:  pairsH.Max,
 			Imbalance:        pairsH.Imbalance(),
+			CombineIn:        combineIn,
+			CombineOut:       combineOut,
 		}
 		row.Cells = append(row.Cells, cell)
 		row.Tuples = res.Stats.OutputTuples

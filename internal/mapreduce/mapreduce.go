@@ -13,17 +13,25 @@
 //   - the input slice is divided into NumMappers contiguous splits;
 //   - each mapper applies Map to its records and emits (K, V) pairs;
 //   - each pair is routed to reducer Partition(K, NumReducers);
-//   - after all mappers finish, each reducer groups its pairs by key
+//   - each mapper key-sorts its per-reducer output runs (stable, so
+//     emit order within a key survives), applies the optional Combine
+//     hook to each key group, and folds the PairBytes accounting in;
+//   - the shuffle merges every reducer's pre-sorted mapper runs in
+//     parallel (k-way merge, ties broken by mapper index);
+//   - each reducer walks the contiguous key groups of its merged run
 //     and applies Reduce to every (key, values) group in ascending key
 //     order;
 //   - reducer outputs are concatenated in reducer-index order.
 //
-// The engine is deterministic regardless of goroutine scheduling:
-// pairs are concatenated in mapper-index order before grouping, keys
-// are reduced in sorted order, and outputs are assembled in reducer
-// order. Task fault injection (Config.FailMap / Config.FailReduce with
-// MaxAttempts) deterministically re-runs failed attempts, discarding
-// their partial output, to mirror Hadoop's task retry semantics.
+// The engine is deterministic regardless of goroutine scheduling: the
+// merge delivers every key's values in (mapper index, emit order) —
+// exactly the order a serial concatenation would — keys are reduced in
+// sorted order, and outputs are assembled in reducer order. Task fault
+// injection (Config.FailMap / Config.FailReduce with MaxAttempts)
+// deterministically re-runs failed attempts, discarding their partial
+// output (including its combine and byte accounting), to mirror
+// Hadoop's task retry semantics; retried reduce attempts reuse the
+// immutable merged input.
 //
 // When Config.Tracer is set, every run emits a span tree — job →
 // map/shuffle/reduce phases → task attempts — with counters that
@@ -34,8 +42,10 @@ import (
 	"cmp"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mwsjoin/internal/metrics"
@@ -101,7 +111,7 @@ func (c *Config) withDefaults() (Config, error) {
 type Stats struct {
 	Job                 string
 	MapInputRecords     int64
-	IntermediatePairs   int64 // total (K, V) pairs shuffled to reducers
+	IntermediatePairs   int64 // total (K, V) pairs shuffled to reducers (post-combine)
 	IntermediateBytes   int64 // as measured by Job.PairBytes, 0 if unset
 	ReduceInputKeys     int64
 	ReduceOutputRecords int64
@@ -109,6 +119,12 @@ type Stats struct {
 	MapFailures         int64
 	ReduceAttempts      int64 // includes failed attempts
 	ReduceFailures      int64
+	// CombineInputPairs / CombineOutputPairs measure the Combine hook's
+	// effect: pairs fed to it versus pairs it kept, summed over the
+	// successful map attempts. Both are 0 when the job has no combiner;
+	// their difference is the shuffle traffic the combiner saved.
+	CombineInputPairs  int64
+	CombineOutputPairs int64
 	// PairsPerReducer measures reducer load balance: entry i is the
 	// number of intermediate pairs routed to reducer i.
 	PairsPerReducer []int64
@@ -148,6 +164,8 @@ func (s *Stats) Add(o *Stats) {
 	s.MapFailures += o.MapFailures
 	s.ReduceAttempts += o.ReduceAttempts
 	s.ReduceFailures += o.ReduceFailures
+	s.CombineInputPairs += o.CombineInputPairs
+	s.CombineOutputPairs += o.CombineOutputPairs
 	s.MapWall += o.MapWall
 	s.ReduceWall += o.ReduceWall
 	s.TotalWall += o.TotalWall
@@ -172,15 +190,144 @@ type Job[I any, K cmp.Ordered, V any, O any] struct {
 	Partition func(key K, n int) int
 	// Reduce folds all values of one key into output records.
 	Reduce func(key K, values []V, emit func(O)) error
+	// Combine, when non-nil, is a Hadoop-style combiner applied to
+	// each mapper's key-sorted output runs before the shuffle: for
+	// every key group the mapper produced, Combine(key, values)
+	// replaces the group's values with the returned slice (an empty
+	// result drops the key from that run). It must be
+	// semantics-preserving for Reduce — reducing a key over any
+	// concatenation of combined runs must yield the same output as
+	// reducing the raw pairs. The values slice is scratch reused
+	// between calls: implementations must not retain it, but may
+	// return it (or a prefix of it) — the engine copies the returned
+	// values before reuse. Stats.CombineInputPairs /
+	// Stats.CombineOutputPairs report its effect; IntermediatePairs,
+	// PairsPerReducer and all byte counters measure what is actually
+	// shuffled, i.e. the post-combine runs.
+	Combine func(key K, values []V) []V
 	// PairBytes sizes an intermediate pair for the byte counters; nil
 	// counts pairs only.
 	PairBytes func(key K, value V) int
 }
 
-// pairBatch is the output of one mapper for one reducer.
+// pair is one intermediate key-value emitted by a mapper.
+type pair[K cmp.Ordered, V any] struct {
+	key K
+	val V
+}
+
+// pairBatch is the output of one mapper for one reducer: a run of
+// pairs that the mapper key-sorts, combines, and sizes before handing
+// it to the shuffle, so the shuffle itself never walks pairs serially.
 type pairBatch[K cmp.Ordered, V any] struct {
+	pairs      []pair[K, V]
+	bytes      int64 // Σ PairBytes over pairs; 0 when PairBytes is nil
+	combineIn  int64 // pairs fed to Combine
+	combineOut int64 // pairs Combine kept
+}
+
+// legacyGrouping switches the engine back to the pre-pipeline shuffle:
+// serial per-reducer concatenation in mapper order, a serial per-pair
+// PairBytes walk, and reduce-side map[K][]V grouping plus a key sort.
+// It exists only as the reference implementation for the equivalence
+// property tests and the before/after benchmarks; production code must
+// never set it. Combine is ignored on this path (combiners did not
+// exist before the pipeline).
+var legacyGrouping bool
+
+// finalizeRun turns one mapper's raw per-reducer run into shuffle-ready
+// form, inside the parallel map task: a stable key sort (emit order
+// within a key survives), the optional combiner applied per key group,
+// and the PairBytes accounting folded in. rank, when non-nil, selects
+// the linear radix run sort; otherwise a comparison stable sort is
+// used.
+func finalizeRun[K cmp.Ordered, V any](b *pairBatch[K, V], rank func(K) uint64, combine func(K, []V) []V, pairBytes func(K, V) int) {
+	ps := b.pairs
+	if len(ps) == 0 {
+		return
+	}
+	if rank != nil {
+		ps = radixSortPairs(ps, rank)
+		b.pairs = ps
+	} else if !slices.IsSortedFunc(ps, func(a, b pair[K, V]) int { return cmp.Compare(a.key, b.key) }) {
+		slices.SortStableFunc(ps, func(a, b pair[K, V]) int { return cmp.Compare(a.key, b.key) })
+	}
+	if combine != nil {
+		var scratch []V
+		dst := ps[:0]
+		aliased := true // dst still shares ps's backing array
+		for lo := 0; lo < len(ps); {
+			hi := lo + 1
+			for hi < len(ps) && ps[hi].key == ps[lo].key {
+				hi++
+			}
+			k := ps[lo].key
+			scratch = scratch[:0]
+			for i := lo; i < hi; i++ {
+				scratch = append(scratch, ps[i].val)
+			}
+			vs := combine(k, scratch)
+			b.combineIn += int64(hi - lo)
+			b.combineOut += int64(len(vs))
+			if aliased && len(dst)+len(vs) > hi {
+				// An expanding combiner would overwrite pairs not yet
+				// consumed; move the output to a fresh backing array.
+				dst = append(make([]pair[K, V], 0, len(dst)+len(vs)+len(ps)-hi), dst...)
+				aliased = false
+			}
+			for _, v := range vs {
+				dst = append(dst, pair[K, V]{key: k, val: v})
+			}
+			lo = hi
+		}
+		b.pairs = dst
+		ps = dst
+	}
+	if pairBytes != nil {
+		var n int64
+		for i := range ps {
+			n += int64(pairBytes(ps[i].key, ps[i].val))
+		}
+		b.bytes = n
+	}
+}
+
+// reducerInput is one reducer's shuffled input: parallel key/value
+// slices, in merged key order on the pipeline path (contiguous key
+// groups) or raw arrival order on the legacy path (grouped
+// reduce-side).
+type reducerInput[K cmp.Ordered, V any] struct {
 	keys []K
 	vals []V
+}
+
+// groupStarts indexes the contiguous key groups of a merged reducer
+// input: group g spans keys[starts[g]:starts[g+1]]. keys must be
+// non-empty and key-sorted.
+func groupStarts[K cmp.Ordered](keys []K) []int {
+	starts := make([]int, 1, 16)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[i-1] {
+			starts = append(starts, i)
+		}
+	}
+	return append(starts, len(keys))
+}
+
+// legacyGroups reproduces the pre-pipeline reduce-side grouping
+// exactly: map[K][]V bucketing in arrival order plus a sort over the
+// distinct keys. Only reachable under legacyGrouping.
+func legacyGroups[K cmp.Ordered, V any](in reducerInput[K, V]) (map[K][]V, []K) {
+	groups := make(map[K][]V, len(in.keys)/2+1)
+	for i, k := range in.keys {
+		groups[k] = append(groups[k], in.vals[i])
+	}
+	keys := make([]K, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return cmp.Less(keys[a], keys[b]) })
+	return groups, keys
 }
 
 // Run executes the job on the given input and returns the concatenated
@@ -205,6 +352,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		MapInputRecords: int64(len(input)),
 		PairsPerReducer: make([]int64, cfg.NumReducers),
 	}
+	ranker := keyRanker[K]()
 	start := time.Now()
 	tr := cfg.Tracer
 	traced := tr != nil
@@ -225,7 +373,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	if len(input) == 0 {
 		nm = 0
 	}
-	// batches[m][r] holds mapper m's pairs for reducer r.
+	// batches[m][r] holds mapper m's sorted run for reducer r.
 	batches := make([][]pairBatch[K, V], nm)
 	mapErrs := make([]error, nm)
 	attempts := make([]int64, nm)
@@ -250,14 +398,22 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				if r < 0 || r >= cfg.NumReducers {
 					panic(fmt.Sprintf("mapreduce: job %q: partitioner sent key %v to reducer %d of %d", cfg.Name, k, r, cfg.NumReducers))
 				}
-				out[r].keys = append(out[r].keys, k)
-				out[r].vals = append(out[r].vals, v)
+				out[r].pairs = append(out[r].pairs, pair[K, V]{key: k, val: v})
 			}
 			var err error
 			for i := lo; i < hi && err == nil; i++ {
 				err = safeMap(j.Map, input[i], emit)
 			}
 			injected := cfg.FailMap != nil && cfg.FailMap(m, attempt)
+			if err == nil && !injected && !legacyGrouping {
+				// Sorting, combining and byte accounting run inside the
+				// map task, so the attempt timing covers them and a
+				// discarded attempt discards its accounting with the
+				// batch.
+				for r := range out {
+					finalizeRun(&out[r], ranker, j.Combine, j.PairBytes)
+				}
+			}
 			if timed {
 				mapLogs[m] = append(mapLogs[m], taskAttempt{start: t0, end: time.Now(), failed: injected})
 			}
@@ -281,6 +437,14 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		stats.MapAttempts += attempts[m]
 		stats.MapFailures += failures[m]
 	}
+	if j.Combine != nil {
+		for _, bm := range batches { // nil for failed mappers: skipped
+			for r := range bm {
+				stats.CombineInputPairs += bm[r].combineIn
+				stats.CombineOutputPairs += bm[r].combineOut
+			}
+		}
+	}
 	stats.MapWall = time.Since(mapStart)
 	if traced {
 		// Task-attempt spans are logged in task order after the phase,
@@ -289,6 +453,10 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		tr.Add(mapSpan, "records_in", stats.MapInputRecords)
 		tr.Add(mapSpan, "attempts", stats.MapAttempts)
 		tr.Add(mapSpan, "injected_failures", stats.MapFailures)
+		if j.Combine != nil {
+			tr.Add(mapSpan, "combine_in", stats.CombineInputPairs)
+			tr.Add(mapSpan, "combine_out", stats.CombineOutputPairs)
+		}
 	}
 	tr.End(mapSpan)
 	for m, err := range mapErrs {
@@ -297,39 +465,64 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		}
 	}
 
-	// ---- shuffle: concatenate per-reducer in mapper order ----
-	// This is the hot loop of the engine; the tracer is deliberately
-	// untouched here — shuffle counters are attached once per phase
-	// below, so a nil tracer adds zero work and zero allocations per
-	// pair.
+	// ---- shuffle: parallel k-way merge of the sorted mapper runs ----
+	// Each reducer's merge is one task; pair and byte totals were folded
+	// into the runs by the map phase, so no per-pair work remains here.
+	// The tracer is deliberately untouched in the merge loop — shuffle
+	// counters are attached once per phase below, so a nil tracer adds
+	// zero work and zero allocations per pair.
 	shuffleStart := time.Now()
-	type reducerInput struct {
-		keys []K
-		vals []V
-	}
-	rin := make([]reducerInput, cfg.NumReducers)
+	rin := make([]reducerInput[K, V], cfg.NumReducers)
 	var bytesPerReducer []int64
 	if j.PairBytes != nil {
 		bytesPerReducer = make([]int64, cfg.NumReducers)
 	}
-	for r := 0; r < cfg.NumReducers; r++ {
-		var total int
-		for m := 0; m < nm; m++ {
-			total += len(batches[m][r].keys)
-		}
-		rin[r].keys = make([]K, 0, total)
-		rin[r].vals = make([]V, 0, total)
-		for m := 0; m < nm; m++ {
-			rin[r].keys = append(rin[r].keys, batches[m][r].keys...)
-			rin[r].vals = append(rin[r].vals, batches[m][r].vals...)
-		}
-		stats.PairsPerReducer[r] = int64(total)
-		stats.IntermediatePairs += int64(total)
-		if j.PairBytes != nil {
-			for i := range rin[r].keys {
-				bytesPerReducer[r] += int64(j.PairBytes(rin[r].keys[i], rin[r].vals[i]))
+	if legacyGrouping {
+		// Pre-pipeline reference: serial concatenation in mapper order
+		// with a serial per-pair byte walk.
+		for r := 0; r < cfg.NumReducers; r++ {
+			var total int
+			for m := 0; m < nm; m++ {
+				total += len(batches[m][r].pairs)
 			}
-			stats.IntermediateBytes += bytesPerReducer[r]
+			keys := make([]K, 0, total)
+			vals := make([]V, 0, total)
+			for m := 0; m < nm; m++ {
+				for _, p := range batches[m][r].pairs {
+					keys = append(keys, p.key)
+					vals = append(vals, p.val)
+				}
+			}
+			rin[r] = reducerInput[K, V]{keys: keys, vals: vals}
+			stats.PairsPerReducer[r] = int64(total)
+			stats.IntermediatePairs += int64(total)
+			if j.PairBytes != nil {
+				for i := range keys {
+					bytesPerReducer[r] += int64(j.PairBytes(keys[i], vals[i]))
+				}
+				stats.IntermediateBytes += bytesPerReducer[r]
+			}
+		}
+	} else {
+		runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) {
+			var total int
+			var nbytes int64
+			for m := 0; m < nm; m++ {
+				total += len(batches[m][r].pairs)
+				nbytes += batches[m][r].bytes
+			}
+			rin[r] = mergeRuns(batches, r, total)
+			if bytesPerReducer != nil {
+				bytesPerReducer[r] = nbytes
+			}
+		})
+		for r := 0; r < cfg.NumReducers; r++ {
+			n := int64(len(rin[r].keys))
+			stats.PairsPerReducer[r] = n
+			stats.IntermediatePairs += n
+			if bytesPerReducer != nil {
+				stats.IntermediateBytes += bytesPerReducer[r]
+			}
 		}
 	}
 	batches = nil
@@ -365,19 +558,22 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		if len(in.keys) == 0 {
 			return
 		}
-		// Group values by key, preserving arrival order within a key:
-		// sort distinct keys, bucket values by key. The grouping is
-		// derived from the immutable shuffle output, so retried
-		// attempts reuse it.
-		groups := make(map[K][]V, len(in.keys)/2+1)
-		for i, k := range in.keys {
-			groups[k] = append(groups[k], in.vals[i])
+		// The merged run already holds each key's values contiguously
+		// in (mapper index, emit order); index its group boundaries
+		// once — the view is derived from the immutable shuffle output,
+		// so retried attempts reuse it. The legacy path instead rebuilds
+		// the pre-pipeline map[K][]V plus sorted distinct keys.
+		var starts []int
+		var lgroups map[K][]V
+		var lkeys []K
+		nkeys := 0
+		if legacyGrouping {
+			lgroups, lkeys = legacyGroups(in)
+			nkeys = len(lkeys)
+		} else {
+			starts = groupStarts(in.keys)
+			nkeys = len(starts) - 1
 		}
-		keys := make([]K, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(a, b int) bool { return cmp.Less(keys[a], keys[b]) })
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 			redAttempts[r]++
 			var t0 time.Time
@@ -387,10 +583,21 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			var out []O
 			emit := func(o O) { out = append(out, o) }
 			var rerr error
-			for _, k := range keys {
-				if rerr = safeReduce(j.Reduce, k, groups[k], emit); rerr != nil {
-					rerr = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, rerr)
-					break
+			if legacyGrouping {
+				for _, k := range lkeys {
+					if rerr = safeReduce(j.Reduce, k, lgroups[k], emit); rerr != nil {
+						rerr = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, rerr)
+						break
+					}
+				}
+			} else {
+				for g := 0; g+1 < len(starts); g++ {
+					glo, ghi := starts[g], starts[g+1]
+					k := in.keys[glo]
+					if rerr = safeReduce(j.Reduce, k, in.vals[glo:ghi:ghi], emit); rerr != nil {
+						rerr = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, rerr)
+						break
+					}
 				}
 			}
 			injected := cfg.FailReduce != nil && cfg.FailReduce(r, attempt)
@@ -410,7 +617,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				return
 			}
 			outputs[r] = out
-			keyCounts[r] = int64(len(keys))
+			keyCounts[r] = int64(nkeys)
 			return
 		}
 	})
@@ -454,8 +661,12 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		tr.Add(jobSpan, "map_failures", stats.MapFailures)
 		tr.Add(jobSpan, "reduce_attempts", stats.ReduceAttempts)
 		tr.Add(jobSpan, "reduce_failures", stats.ReduceFailures)
+		if j.Combine != nil {
+			tr.Add(jobSpan, "combine_in", stats.CombineInputPairs)
+			tr.Add(jobSpan, "combine_out", stats.CombineOutputPairs)
+		}
 	}
-	recordMetrics(cfg.Metrics, stats, keyCounts, bytesPerReducer, mapLogs, redLogs)
+	recordMetrics(cfg.Metrics, stats, j.Combine != nil, keyCounts, bytesPerReducer, mapLogs, redLogs)
 	return out, stats, nil
 }
 
@@ -473,7 +684,7 @@ const ReducerPairsHistogram = "mapreduce_reducer_pairs"
 // counters mirroring Stats exactly, per-reducer pair/key/byte
 // distributions, task-attempt latency distributions, and the job's
 // imbalance factor. A nil registry records nothing.
-func recordMetrics(m *metrics.Registry, stats *Stats, keyCounts, bytesPerReducer []int64, mapLogs, redLogs [][]taskAttempt) {
+func recordMetrics(m *metrics.Registry, stats *Stats, hasCombine bool, keyCounts, bytesPerReducer []int64, mapLogs, redLogs [][]taskAttempt) {
 	if m == nil {
 		return
 	}
@@ -487,6 +698,12 @@ func recordMetrics(m *metrics.Registry, stats *Stats, keyCounts, bytesPerReducer
 	m.Counter("mapreduce_map_failures_total").Add(stats.MapFailures)
 	m.Counter("mapreduce_reduce_attempts_total").Add(stats.ReduceAttempts)
 	m.Counter("mapreduce_reduce_failures_total").Add(stats.ReduceFailures)
+	if hasCombine {
+		// Registered only for combiner jobs, so scrapes of combiner-free
+		// workloads are byte-identical to the pre-combiner engine.
+		m.Counter("mapreduce_combine_input_pairs_total").Add(stats.CombineInputPairs)
+		m.Counter("mapreduce_combine_output_pairs_total").Add(stats.CombineOutputPairs)
+	}
 
 	pairsH := m.Histogram("mapreduce_reducer_pairs")
 	keysH := m.Histogram("mapreduce_reducer_keys")
@@ -581,7 +798,10 @@ func safeReduce[K cmp.Ordered, V any, O any](fn func(K, []V, func(O)) error, k K
 }
 
 // runTasks executes fn(0..n-1) with at most parallelism concurrent
-// invocations.
+// invocations. Workers claim task indices from a shared atomic counter
+// — one atomic add per task instead of an unbuffered-channel
+// rendezvous, which was measurable overhead for the many tiny reduce
+// tasks of mark rounds.
 func runTasks(parallelism, n int, fn func(i int)) {
 	if n == 0 {
 		return
@@ -595,20 +815,20 @@ func runTasks(parallelism, n int, fn func(i int)) {
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }

@@ -317,6 +317,19 @@ func KNNJoin(outer, inner PointSet, k int, part *grid.Partitioning, cfg Config) 
 			emit(c.OuterID, c.N)
 			return nil
 		},
+		// Map-side top-k: any neighbour in the global top-k has fewer
+		// than k neighbours ahead of it in the (Dist, ID) order, so it
+		// survives the top-k of its own mapper run — truncating each run
+		// to k before the shuffle cannot evict a final answer. The
+		// reduce re-sorts and re-truncates the merged runs regardless,
+		// so results are bit-identical; only shuffled pairs shrink.
+		Combine: func(_ int32, ns []Neighbor) []Neighbor {
+			sortNeighbors(ns)
+			if len(ns) > k {
+				ns = ns[:k]
+			}
+			return ns
+		},
 		Reduce: func(id int32, ns []Neighbor, emit func(KNNResult)) error {
 			sortNeighbors(ns)
 			// A neighbour can arrive from several cells (an inner point

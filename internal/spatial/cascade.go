@@ -1,7 +1,9 @@
 package spatial
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -87,6 +89,20 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Sort each relation by sweep order once per round: the engine's
+		// shuffle preserves input order within a key, so every cell's
+		// tuples and items arrive at the reducer already ascending by
+		// MinX and the plane sweep needs no per-cell re-sort
+		// (sweep.JoinSorted). Stable sorts keep equal-MinX records in
+		// input order, which makes the per-cell order identical to what
+		// sweep.Join's (MinX, arrival index) sort produced — emitted
+		// pairs, and therefore all stats, are unchanged.
+		slices.SortStableFunc(current, func(a, b partial) int {
+			return cmp.Compare(a.Rects[keyPos].MinX(), b.Rects[keyPos].MinX())
+		})
+		slices.SortStableFunc(items, func(a, b tagged) int {
+			return cmp.Compare(a.Rect.MinX(), b.Rect.MinX())
+		})
 		input := make([]cascadeRecord, 0, len(current)+len(items))
 		for _, t := range current {
 			input = append(input, cascadeRecord{isTuple: true, tuple: t})
@@ -185,7 +201,10 @@ func cascadeReduce(pl *plan, part *grid.Partitioning, newSlot, keyPos int, edges
 		if len(tuples) == 0 || len(ids) == 0 {
 			return nil
 		}
-		sweep.Join(keys, rects, d, func(i, j int) bool {
+		// keys and rects arrive pre-sorted by MinX: the cascade sorts
+		// both relations before the job and the shuffle preserves input
+		// order within each cell.
+		sweep.JoinSorted(keys, rects, d, func(i, j int) bool {
 			t := tuples[i]
 			if !cascadeAccepts(pl, t, newSlot, ids[j], rects[j], edges, primary) {
 				return true

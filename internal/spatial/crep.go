@@ -103,6 +103,7 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 			return nil
 		},
 		Partition: mapreduce.IdentityPartition[grid.CellID],
+		Combine:   dedupSplitRun,
 		Reduce: func(c grid.CellID, items []tagged, emit func(tagged)) error {
 			cd := newCellData(pl.m, items)
 			marked := markCell(pl, exec.part, c, cd)
@@ -224,3 +225,25 @@ func observeCell(reg *metrics.Registry, candidates, tuples int64) {
 // taggedPairBytes sizes an intermediate (cell, item) pair: 4 bytes of
 // key plus the 38-byte item record.
 func taggedPairBytes(_ grid.CellID, _ tagged) int { return 4 + itemRecordBytes }
+
+// dedupSplitRun is the mark round's combiner: it drops adjacent exact
+// duplicates from one mapper's per-cell run. The mark round has set
+// semantics — markCell and the start-cell emission rule depend only on
+// which rectangles reached a cell, so shipping a duplicate copy can
+// only waste shuffle bytes, never change the marking. On well-formed
+// inputs (NewRelation assigns distinct sequential IDs, ForEachSplit
+// visits each cell once) no duplicates exist and the combiner is a
+// pure pass-through, keeping every published counter identical; it
+// pays off when an upstream data source repeats records. The join
+// rounds deliberately have no combiner: there, duplicate input records
+// must multiply output tuples to match the brute-force reference.
+func dedupSplitRun(_ grid.CellID, items []tagged) []tagged {
+	w := 1
+	for i := 1; i < len(items); i++ {
+		if items[i] != items[w-1] {
+			items[w] = items[i]
+			w++
+		}
+	}
+	return items[:w]
+}

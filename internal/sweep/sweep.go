@@ -27,25 +27,45 @@ func Join(as, bs []geom.Rect, d float64, fn func(i, j int) bool) {
 	}
 	ai := sortedByMinX(as)
 	bi := sortedByMinX(bs)
+	sa := make([]geom.Rect, len(ai))
+	for p, i := range ai {
+		sa[p] = as[i]
+	}
+	sb := make([]geom.Rect, len(bi))
+	for q, j := range bi {
+		sb[q] = bs[j]
+	}
+	JoinSorted(sa, sb, d, func(p, q int) bool { return fn(ai[p], bi[q]) })
+}
 
+// JoinSorted is Join for pre-sorted inputs: both as and bs must
+// already be in ascending MinX order (equal MinX in any fixed order).
+// It skips the per-call sort — callers that sort each relation once
+// and sweep it many times (the cascade executor sorts once per round)
+// use this entry point. Pairs are emitted ascending by position in as,
+// then bs, exactly as Join emits them for the same orders.
+func JoinSorted(as, bs []geom.Rect, d float64, fn func(i, j int) bool) {
+	if len(as) == 0 || len(bs) == 0 || d < 0 {
+		return
+	}
 	start := 0
-	for _, i := range ai {
+	for i := range as {
 		a := as[i]
 		aMin, aMax := a.MinX(), a.MaxX()
 		// Permanently discard leading b's that ended left of the sweep
 		// front: future a's have MinX ≥ aMin, so such b's can never
 		// come within d on the x axis again. Dead b's further inside
 		// the window are filtered by the match test instead.
-		for start < len(bi) && bs[bi[start]].MaxX() < aMin-d {
+		for start < len(bs) && bs[start].MaxX() < aMin-d {
 			start++
 		}
-		for k := start; k < len(bi); k++ {
-			b := bs[bi[k]]
+		for k := start; k < len(bs); k++ {
+			b := bs[k]
 			if b.MinX() > aMax+d {
 				break // all later b's start even further right
 			}
 			if match(a, b, d) {
-				if !fn(i, bi[k]) {
+				if !fn(i, k) {
 					return
 				}
 			}

@@ -205,3 +205,58 @@ func BenchmarkJoin5k(b *testing.B) {
 		Join(as, bs, 0, func(int, int) bool { n++; return true })
 	}
 }
+
+// sortRectsByMinX returns a copy of rs sorted ascending by MinX — the
+// precondition of JoinSorted.
+func sortRectsByMinX(rs []geom.Rect) []geom.Rect {
+	out := append([]geom.Rect(nil), rs...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MinX() < out[j].MinX() })
+	return out
+}
+
+// TestJoinSortedMatchesJoin checks that JoinSorted on pre-sorted
+// inputs emits exactly the pairs Join emits, in the same order.
+func TestJoinSortedMatchesJoin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for _, d := range []float64{0, 3} {
+		as := sortRectsByMinX(randRects(60, rng, 80, 25))
+		bs := sortRectsByMinX(randRects(60, rng, 80, 25))
+		var want, got [][2]int
+		Join(as, bs, d, func(i, j int) bool { want = append(want, [2]int{i, j}); return true })
+		JoinSorted(as, bs, d, func(i, j int) bool { got = append(got, [2]int{i, j}); return true })
+		if len(got) != len(want) {
+			t.Fatalf("d=%v: %d pairs, want %d", d, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("d=%v: pair %d = %v, want %v", d, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestJoinSortedEarlyStop checks callback-driven termination.
+func TestJoinSortedEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	as := sortRectsByMinX(randRects(50, rng, 40, 20))
+	bs := sortRectsByMinX(randRects(50, rng, 40, 20))
+	n := 0
+	JoinSorted(as, bs, 0, func(int, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("callback ran %d times, want 3", n)
+	}
+}
+
+// BenchmarkJoinSorted5k is the regression benchmark for the cascade
+// pre-sort: the same workload as BenchmarkJoin5k minus the per-call
+// index sorts.
+func BenchmarkJoinSorted5k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	as := sortRectsByMinX(randRects(5000, rng, 100000, 100))
+	bs := sortRectsByMinX(randRects(5000, rng, 100000, 100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		JoinSorted(as, bs, 0, func(int, int) bool { n++; return true })
+	}
+}

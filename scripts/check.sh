@@ -33,4 +33,7 @@ go test -run 'TestServeSmoke' -count=1 ./cmd/mwsjoin
 echo "== fuzz (FuzzParseQuery, 5s) =="
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
 
+echo "== shuffle pipeline bench smoke (1 iteration per benchmark) =="
+go test -run='^$' -bench . -benchtime=1x ./internal/mapreduce
+
 echo "== check.sh: all green =="
