@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,20 @@ import (
 
 	"mwsjoin"
 )
+
+// saveSnapshot persists the simulated file system (and with it the
+// chain checkpoints of a killed run) to a host file for -resume.
+func saveSnapshot(fs *mwsjoin.FileSystem, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fs.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // testAfterRun, when set by tests, observes the bound -serve address
 // and the final result (nil in -explain mode) while the metrics server
@@ -94,6 +109,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		serveAddr = fs.String("serve", "", "serve live metrics on this address while running (/metrics, /debug/vars, /debug/pprof/*); :0 picks a free port")
 		explain   = fs.Bool("explain", false, "predict each map-reduce method's cost, measure the actuals, and print a predicted-vs-actual table (ignores -method and tuple output)")
 		skewThr   = fs.Float64("skew-threshold", 0, "reducer-skew ratio flagged in the -trace-tree export; 0 derives it from the measured job imbalance distribution")
+		failJob   = fs.Int("fail-job", -1, "kill the run before job-chain index N (fault injection); with -checkpoint, the completed checkpoints are saved for -resume")
+		resume    = fs.Bool("resume", false, "resume a killed run from the -checkpoint snapshot; completed jobs are skipped and only the checkpoint re-read is charged")
+		chkPath   = fs.String("checkpoint", "", "host file holding the simulated file-system snapshot: written when -fail-job kills the run, read by -resume")
+		specul    = fs.Bool("speculative", false, "race backup attempts for straggler tasks (Hadoop speculative execution); results are unchanged")
 	)
 	fs.Var(rels, "rel", "slot binding <slot>=<file>; repeat once per slot")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +120,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *queryText == "" {
 		return fmt.Errorf("-query is required")
+	}
+	if *resume && *chkPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint <file>")
 	}
 
 	q, err := mwsjoin.ParseQuery(*queryText)
@@ -110,6 +132,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	m, err := mwsjoin.ParseMethod(*method)
 	if err != nil {
 		return err
+	}
+
+	var tracer *mwsjoin.Tracer
+	if *traceJSON != "" || *traceTree != "" {
+		tracer = mwsjoin.NewTracer()
+	}
+	// The registry backs -serve, the -explain analyze runs, the
+	// speculative-attempt counter, and the auto-derived -trace-tree skew
+	// threshold. The metrics server starts before the (potentially
+	// large) relation load, so a bad -serve address fails fast and the
+	// load itself is observable.
+	var reg *mwsjoin.MetricsRegistry
+	if *serveAddr != "" || *explain || *specul || (*traceTree != "" && *skewThr <= 0) {
+		reg = mwsjoin.NewMetricsRegistry()
+	}
+	var boundAddr string
+	if *serveAddr != "" {
+		addr, shutdown, err := mwsjoin.ServeMetrics(*serveAddr, reg)
+		if err != nil {
+			return fmt.Errorf("-serve %s: %w", *serveAddr, err)
+		}
+		defer shutdown() //nolint:errcheck // best-effort on exit
+		boundAddr = addr
+		fmt.Fprintf(stderr, "serving metrics on http://%s/metrics\n", addr)
 	}
 
 	// Bind files to slots; identical paths share one relation name so
@@ -132,32 +178,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bound[i] = rel
 	}
 
-	var tracer *mwsjoin.Tracer
-	if *traceJSON != "" || *traceTree != "" {
-		tracer = mwsjoin.NewTracer()
-	}
-	// The registry backs -serve, the -explain analyze runs, and the
-	// auto-derived -trace-tree skew threshold.
-	var reg *mwsjoin.MetricsRegistry
-	if *serveAddr != "" || *explain || (*traceTree != "" && *skewThr <= 0) {
-		reg = mwsjoin.NewMetricsRegistry()
-	}
-	var boundAddr string
-	if *serveAddr != "" {
-		addr, shutdown, err := mwsjoin.ServeMetrics(*serveAddr, reg)
-		if err != nil {
-			return err
-		}
-		defer shutdown() //nolint:errcheck // best-effort on exit
-		boundAddr = addr
-		fmt.Fprintf(stderr, "serving metrics on http://%s/metrics\n", addr)
-	}
 	opts := mwsjoin.Options{
 		Reducers:       *reducers,
 		EuclideanLimit: *euclid,
 		AllowSelfPairs: *selfPairs,
+		Speculative:    *specul,
 		Tracer:         tracer,
 		Metrics:        reg,
+	}
+	if *resume {
+		f, err := os.Open(*chkPath)
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+		opts.FS, err = mwsjoin.ReadFileSystemSnapshot(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-resume %s: %w", *chkPath, err)
+		}
+		opts.Resume = true
+	}
+	if *failJob >= 0 {
+		k := *failJob
+		opts.FailJob = func(i int) bool { return i == k }
+		if opts.FS == nil {
+			opts.FS = mwsjoin.NewFileSystem()
+		}
 	}
 
 	var res *mwsjoin.Result
@@ -167,6 +213,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	} else {
 		if res, err = mwsjoin.Run(q, bound, m, &opts); err != nil {
+			var killed *mwsjoin.ChainKilledError
+			if errors.As(err, &killed) && *chkPath != "" {
+				if serr := saveSnapshot(opts.FS, *chkPath); serr != nil {
+					return fmt.Errorf("%w; saving checkpoint snapshot: %v", err, serr)
+				}
+				fmt.Fprintf(stderr, "run killed before job %d; checkpoints saved to %s — re-run with -resume -checkpoint %s to finish\n",
+					killed.Job, *chkPath, *chkPath)
+			}
 			return err
 		}
 	}
@@ -216,6 +270,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "rects after replication: %d\n", s.RectanglesAfterReplication)
 		fmt.Fprintf(stderr, "dfs bytes written:       %d\n", s.DFS.BytesWritten)
 		fmt.Fprintf(stderr, "dfs bytes read:          %d\n", s.DFS.BytesRead)
+		if s.Chain != nil {
+			fmt.Fprintf(stderr, "chain jobs run/resumed:  %d/%d\n", s.Chain.JobsRun, s.Chain.ResumedJobs)
+			fmt.Fprintf(stderr, "checkpoint bytes w/r:    %d/%d\n", s.Chain.CheckpointBytesWritten, s.Chain.CheckpointBytesRead)
+		}
+		if reg != nil {
+			if n := reg.Counter("mapreduce_speculative_attempts_total").Value(); n > 0 {
+				fmt.Fprintf(stderr, "speculative attempts:    %d\n", n)
+			}
+		}
 		var combineIn, combineOut int64
 		for _, r := range s.Rounds {
 			combineIn += r.CombineInputPairs

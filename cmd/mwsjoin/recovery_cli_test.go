@@ -1,0 +1,132 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mwsjoin"
+)
+
+// TestServeAddrInUse: a -serve address that is already bound must fail
+// fast — before any relation is loaded — with a clear non-nil error
+// naming the flag, which main translates into a non-zero exit.
+func TestServeAddrInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	// The relation path is deliberately bogus: the bind error must
+	// surface before relation loading ever runs.
+	var out, errOut strings.Builder
+	err = run([]string{
+		"-query", "a ov b",
+		"-rel", "a=/nonexistent.csv", "-rel", "b=/nonexistent.csv",
+		"-serve", addr,
+	}, &out, &errOut)
+	if err == nil {
+		t.Fatalf("run with occupied -serve address %s succeeded", addr)
+	}
+	if !strings.Contains(err.Error(), "-serve") || !strings.Contains(err.Error(), addr) {
+		t.Errorf("error does not name the -serve flag and address: %v", err)
+	}
+	if strings.Contains(err.Error(), "nonexistent.csv") {
+		t.Errorf("relation loading ran before the bind check: %v", err)
+	}
+}
+
+// TestKillResumeRoundTrip drives the full CLI recovery workflow: a run
+// killed at a job boundary saves a checkpoint snapshot and exits
+// non-zero with resume guidance; re-running with -resume completes it
+// with output identical to an unkilled run, charging only the
+// documented recovery cost.
+func TestKillResumeRoundTrip(t *testing.T) {
+	path := writeRects(t, "r.csv", denseRects(120))
+	chk := filepath.Join(t.TempDir(), "run.chk")
+	args := func(extra ...string) []string {
+		return append([]string{
+			"-query", "a ov b and b ov c",
+			"-rel", "a=" + path, "-rel", "b=" + path, "-rel", "c=" + path,
+			"-method", "c-rep", "-reducers", "16",
+		}, extra...)
+	}
+
+	var cleanOut, cleanErr strings.Builder
+	if err := run(args(), &cleanOut, &cleanErr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill before job 1 (the join round; job 0 is the mark round).
+	var out, errOut strings.Builder
+	err := run(args("-fail-job", "1", "-checkpoint", chk), &out, &errOut)
+	var killed *mwsjoin.ChainKilledError
+	if !errors.As(err, &killed) {
+		t.Fatalf("killed run: err = %v, want ChainKilledError", err)
+	}
+	if killed.Job != 1 {
+		t.Errorf("killed before job %d, want 1", killed.Job)
+	}
+	if !strings.Contains(errOut.String(), "-resume") {
+		t.Errorf("kill output lacks resume guidance:\n%s", errOut.String())
+	}
+	if _, err := os.Stat(chk); err != nil {
+		t.Fatalf("checkpoint snapshot not saved: %v", err)
+	}
+
+	var resOut, resErr strings.Builder
+	if err := run(args("-resume", "-checkpoint", chk, "-stats"), &resOut, &resErr); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resOut.String() != cleanOut.String() {
+		t.Error("resumed tuples differ from the clean run's")
+	}
+	if !strings.Contains(resErr.String(), "chain jobs run/resumed:  1/1") {
+		t.Errorf("resume stats lack the recovery accounting:\n%s", resErr.String())
+	}
+	if !strings.Contains(resErr.String(), "checkpoint bytes w/r:") {
+		t.Errorf("resume stats lack the checkpoint byte counters:\n%s", resErr.String())
+	}
+}
+
+// TestResumeRequiresCheckpoint pins the flag-validation errors of the
+// recovery flags.
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-query", "a ov b", "-resume"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Errorf("-resume without -checkpoint: err = %v", err)
+	}
+}
+
+// TestSpeculativeSmoke: -speculative leaves the output identical and
+// reports the backup attempts in -stats.
+func TestSpeculativeSmoke(t *testing.T) {
+	path := writeRects(t, "r.csv", denseRects(100))
+	args := func(extra ...string) []string {
+		return append([]string{
+			"-query", "a ov b and b ov c",
+			"-rel", "a=" + path, "-rel", "b=" + path, "-rel", "c=" + path,
+			"-method", "2-way-cascade", "-reducers", "16",
+		}, extra...)
+	}
+	var plainOut, plainErr strings.Builder
+	if err := run(args(), &plainOut, &plainErr); err != nil {
+		t.Fatal(err)
+	}
+	var specOut, specErr strings.Builder
+	if err := run(args("-speculative", "-stats"), &specOut, &specErr); err != nil {
+		t.Fatal(err)
+	}
+	if specOut.String() != plainOut.String() {
+		t.Error("-speculative changed the tuple output")
+	}
+	if !strings.Contains(specErr.String(), "speculative attempts:") {
+		t.Errorf("-speculative -stats lacks the attempt counter:\n%s", specErr.String())
+	}
+}

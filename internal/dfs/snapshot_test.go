@@ -1,0 +1,70 @@
+package dfs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	fs := New(64)
+	if err := fs.WriteFile("a/one", [][]byte{[]byte("hello"), {}, []byte("world")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("b/two", [][]byte{{0, 1, 2, 255}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	before := fs.Stats()
+	if err := fs.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot I/O is host I/O, not simulated DFS traffic: uncharged.
+	if fs.Stats() != before {
+		t.Errorf("WriteSnapshot charged the DFS counters: %+v -> %+v", before, fs.Stats())
+	}
+
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.List(), fs.List()) {
+		t.Errorf("file list = %v, want %v", got.List(), fs.List())
+	}
+	for _, name := range fs.List() {
+		var want, have [][]byte
+		if err := fs.Scan(name, func(r []byte) error {
+			want = append(want, append([]byte(nil), r...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Scan(name, func(r []byte) error {
+			have = append(have, append([]byte(nil), r...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(have, want) {
+			t.Errorf("%s: records differ after round trip", name)
+		}
+	}
+	// The restored FS starts with fresh counters apart from the scans
+	// just charged — byte/record reads only, nothing written.
+	st := got.Stats()
+	if st.BytesWritten != 0 || st.RecordsWritten != 0 || st.FilesCreated != 0 {
+		t.Errorf("restored FS carries write counters: %+v", st)
+	}
+}
+
+func TestReadSnapshotBadMagic(t *testing.T) {
+	_, err := ReadSnapshot(strings.NewReader("not a snapshot"), 64)
+	if err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("bad magic: err = %v", err)
+	}
+}

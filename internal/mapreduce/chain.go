@@ -1,0 +1,342 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mwsjoin/internal/dfs"
+	"mwsjoin/internal/metrics"
+	"mwsjoin/internal/trace"
+)
+
+// Chain runs a sequence of dependent jobs with Hadoop-style chain-level
+// fault tolerance: each checkpointing step's output records are
+// materialised on the simulated DFS together with a small meta record
+// (the step's name and Stats — the analogue of Hadoop's _SUCCESS marker
+// plus job-history file), so a chain killed between jobs can be resumed
+// on the same FS, skipping every completed job and re-reading only its
+// last checkpoint.
+//
+// Data flows between steps exclusively through the DFS: a step's output
+// is written at step end and read back at the start of the next step
+// (or by Output for the last one), so a clean chain charges exactly the
+// write-then-read cost the paper's §6.4 attributes to cascaded jobs,
+// and a resumed chain charges exactly the checkpoint re-read.
+//
+// Deterministic kill points are injected with ChainConfig.FailJob:
+// before running job i, FailJob(i) == true aborts the chain with a
+// *ChainKilledError, leaving the checkpoints of jobs 0..i-1 on the FS.
+type Chain struct {
+	cfg   ChainConfig
+	stats ChainStats
+	// next is the index the next Step/FinalStep call receives.
+	next int
+	// pending names the checkpoint file holding the next step's input
+	// ("" delivers nil, which only the first step sees).
+	pending string
+	// last names the most recent checkpoint, the file Output reads.
+	last   string
+	killed bool
+}
+
+// ChainConfig configures a job chain.
+type ChainConfig struct {
+	// Name identifies the chain in errors and checkpoint paths.
+	Name string
+	// FS holds the chain's checkpoints. Required; resuming requires
+	// the same FS contents the killed run left behind.
+	FS *dfs.FS
+	// Prefix is the DFS directory for checkpoint files; defaults to
+	// "chk/<Name>".
+	Prefix string
+	// Resume skips every checkpointing step whose checkpoint is already
+	// complete on the FS, charging only its meta-record read; the first
+	// incomplete step re-reads its predecessor's checkpoint and the
+	// chain continues normally from there.
+	Resume bool
+	// FailJob, when non-nil, is consulted before running job i;
+	// returning true kills the chain with a *ChainKilledError. Steps
+	// skipped by Resume are never consulted (their job does not run).
+	FailJob func(jobIndex int) bool
+	// Tracer/TraceParent receive the chain's recovery counters
+	// (checkpoint_bytes_written, checkpoint_bytes_read, resumed_jobs);
+	// Metrics receives the equivalent chain_* totals. All optional.
+	Tracer      *trace.Tracer
+	TraceParent trace.SpanID
+	Metrics     *metrics.Registry
+}
+
+// ChainStats counts what a chain did. Checkpoint counters include the
+// meta records, so a resumed run's read counters are exactly the
+// recovery cost it paid.
+type ChainStats struct {
+	Jobs        int64 // steps declared (run + resumed)
+	JobsRun     int64 // steps whose job actually executed
+	ResumedJobs int64 // steps skipped because their checkpoint was complete
+
+	CheckpointBytesWritten   int64
+	CheckpointBytesRead      int64
+	CheckpointRecordsWritten int64
+	CheckpointRecordsRead    int64
+}
+
+// ChainKilledError reports a deterministic FailJob kill. The
+// checkpoints of all completed jobs remain on the FS, so re-running the
+// chain on the same FS with Resume continues from job Job.
+type ChainKilledError struct {
+	Chain string
+	Job   int
+	Step  string
+}
+
+func (e *ChainKilledError) Error() string {
+	return fmt.Sprintf("mapreduce: chain %q killed before job %d (%s); completed checkpoints remain for resume", e.Chain, e.Job, e.Step)
+}
+
+// chainMeta is the JSON meta record committed next to each checkpoint.
+// All Stats fields are integers, so the round trip is exact.
+type chainMeta struct {
+	Step    int    `json:"step"`
+	Name    string `json:"name"`
+	Records int64  `json:"records"`
+	Stats   *Stats `json:"stats"`
+}
+
+// NewChain creates a chain. It panics on a nil FS — checkpoints are the
+// entire point of a chain, so running without a file system is a
+// programming error, not a runtime condition.
+func NewChain(cfg ChainConfig) *Chain {
+	if cfg.FS == nil {
+		panic("mapreduce: NewChain requires a dfs.FS")
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "chk/" + cfg.Name
+	}
+	return &Chain{cfg: cfg}
+}
+
+// Stats returns a snapshot of the chain's counters.
+func (c *Chain) Stats() ChainStats { return c.stats }
+
+// Step runs one checkpointing job of the chain: run receives the
+// previous step's checkpoint records (nil for the first step) and
+// returns the step's output records plus the job's Stats. The output is
+// committed to the DFS before Step returns; the records handed to the
+// next step are the ones read back from that file.
+//
+// Under Resume, a step whose checkpoint is already complete is skipped
+// entirely — run is not called, none of its input is read — and the
+// Stats recorded in its meta file are returned instead.
+func (c *Chain) Step(name string, run func(in [][]byte) (out [][]byte, st *Stats, err error)) (*Stats, error) {
+	i, err := c.begin(name)
+	if err != nil {
+		return nil, err
+	}
+	file := c.checkpointFile(i, name)
+	if c.cfg.Resume {
+		st, ok, err := c.tryResume(i, name, file)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			c.pending, c.last = file, file
+			return st, nil
+		}
+	}
+	if err := c.maybeKill(i, name); err != nil {
+		return nil, err
+	}
+	in, err := c.readPending()
+	if err != nil {
+		return nil, err
+	}
+	out, st, err := run(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeCheckpoint(i, name, file, out, st); err != nil {
+		return nil, err
+	}
+	c.stats.JobsRun++
+	c.count("chain_jobs_run_total", 1)
+	c.pending, c.last = file, file
+	return st, nil
+}
+
+// FinalStep runs one non-checkpointing job: run receives the previous
+// checkpoint's records but its own output stays in memory (captured by
+// the caller), mirroring a terminal job whose result is consumed
+// directly. Because nothing is committed, a FinalStep is never skipped
+// by Resume — it re-runs on every resume, which is exactly the recovery
+// cost of a job killed past its last checkpoint.
+func (c *Chain) FinalStep(name string, run func(in [][]byte) (*Stats, error)) (*Stats, error) {
+	i, err := c.begin(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.maybeKill(i, name); err != nil {
+		return nil, err
+	}
+	in, err := c.readPending()
+	if err != nil {
+		return nil, err
+	}
+	st, err := run(in)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.JobsRun++
+	c.count("chain_jobs_run_total", 1)
+	return st, nil
+}
+
+// Output reads the last checkpointed step's records back from the DFS
+// (charging the read — the final read-back a consumer of the chain's
+// result pays). Valid after the last Step, including when every step
+// was skipped by Resume.
+func (c *Chain) Output() ([][]byte, error) {
+	if c.last == "" {
+		return nil, fmt.Errorf("mapreduce: chain %q has no checkpointed step to output", c.cfg.Name)
+	}
+	c.pending = c.last
+	return c.readPending()
+}
+
+// begin claims the next job index and validates chain state.
+func (c *Chain) begin(name string) (int, error) {
+	if c.killed {
+		return 0, fmt.Errorf("mapreduce: chain %q: step %q after kill", c.cfg.Name, name)
+	}
+	i := c.next
+	c.next++
+	c.stats.Jobs++
+	c.count("chain_jobs_total", 1)
+	return i, nil
+}
+
+// maybeKill applies the deterministic kill point for job i.
+func (c *Chain) maybeKill(i int, name string) error {
+	if c.cfg.FailJob == nil || !c.cfg.FailJob(i) {
+		return nil
+	}
+	c.killed = true
+	c.traceAdd("chain_kills", 1)
+	c.count("chain_kills_total", 1)
+	return &ChainKilledError{Chain: c.cfg.Name, Job: i, Step: name}
+}
+
+// checkpointFile names job i's checkpoint data file; the meta record
+// lives next to it under metaSuffix.
+func (c *Chain) checkpointFile(i int, name string) string {
+	return fmt.Sprintf("%s/%03d-%s", c.cfg.Prefix, i, name)
+}
+
+const metaSuffix = ".meta"
+
+// tryResume checks whether job i's checkpoint is complete and, if so,
+// returns the Stats recorded in its meta file. The meta read is charged
+// to the DFS counters — it is the bookkeeping cost of recovery.
+func (c *Chain) tryResume(i int, name, file string) (*Stats, bool, error) {
+	fs := c.cfg.FS
+	if !fs.Exists(file+metaSuffix) || !fs.Exists(file) {
+		return nil, false, nil
+	}
+	var meta chainMeta
+	var metaBytes int64
+	err := fs.Scan(file+metaSuffix, func(rec []byte) error {
+		metaBytes += int64(len(rec))
+		return json.Unmarshal(rec, &meta)
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("mapreduce: chain %q: reading checkpoint meta for job %d: %w", c.cfg.Name, i, err)
+	}
+	if meta.Step != i || meta.Name != name {
+		return nil, false, fmt.Errorf("mapreduce: chain %q: checkpoint %q records job %d (%s), want job %d (%s); use a fresh FS or prefix", c.cfg.Name, file, meta.Step, meta.Name, i, name)
+	}
+	if _, records, err := fs.Size(file); err != nil {
+		return nil, false, err
+	} else if records != meta.Records {
+		return nil, false, fmt.Errorf("mapreduce: chain %q: checkpoint %q has %d records, meta says %d; use a fresh FS or prefix", c.cfg.Name, file, records, meta.Records)
+	}
+	c.stats.ResumedJobs++
+	c.stats.CheckpointBytesRead += metaBytes
+	c.stats.CheckpointRecordsRead++
+	c.traceAdd("resumed_jobs", 1)
+	c.traceAdd("checkpoint_bytes_read", metaBytes)
+	c.count("chain_jobs_resumed_total", 1)
+	c.count("chain_checkpoint_bytes_read_total", metaBytes)
+	return meta.Stats, true, nil
+}
+
+// readPending reads the pending checkpoint file, if any, charging the
+// read. The first step of a fresh chain has no pending file and
+// receives nil.
+func (c *Chain) readPending() ([][]byte, error) {
+	if c.pending == "" {
+		return nil, nil
+	}
+	file := c.pending
+	c.pending = ""
+	var in [][]byte
+	var bytes int64
+	err := c.cfg.FS.Scan(file, func(rec []byte) error {
+		in = append(in, append([]byte(nil), rec...))
+		bytes += int64(len(rec))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.stats.CheckpointBytesRead += bytes
+	c.stats.CheckpointRecordsRead += int64(len(in))
+	c.traceAdd("checkpoint_bytes_read", bytes)
+	c.count("chain_checkpoint_bytes_read_total", bytes)
+	return in, nil
+}
+
+// writeCheckpoint commits job i's output records and meta record.
+func (c *Chain) writeCheckpoint(i int, name, file string, out [][]byte, st *Stats) error {
+	fs := c.cfg.FS
+	w := fs.Create(file)
+	var bytes int64
+	for _, rec := range out {
+		w.Append(rec)
+		bytes += int64(len(rec))
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	// Wall times are the one nondeterministic Stats field; persisting
+	// them would make the meta record's length — and with it every
+	// checkpoint byte counter — vary run to run. They are zeroed so
+	// recovery cost reconciles exactly against a clean run; a resumed
+	// job therefore reports zero walls, which is also what it spent.
+	ms := *st
+	ms.MapWall, ms.ReduceWall, ms.TotalWall = 0, 0, 0
+	js, err := json.Marshal(chainMeta{Step: i, Name: name, Records: int64(len(out)), Stats: &ms})
+	if err != nil {
+		return err
+	}
+	// The meta record is committed after the data file, so a crash
+	// between the two writes leaves an incomplete (ignorable)
+	// checkpoint rather than a meta record pointing at missing data.
+	if err := fs.WriteFile(file+metaSuffix, [][]byte{js}); err != nil {
+		return err
+	}
+	written := bytes + int64(len(js))
+	c.stats.CheckpointBytesWritten += written
+	c.stats.CheckpointRecordsWritten += int64(len(out)) + 1
+	c.traceAdd("checkpoint_bytes_written", written)
+	c.count("chain_checkpoint_bytes_written_total", written)
+	return nil
+}
+
+func (c *Chain) traceAdd(counter string, v int64) {
+	c.cfg.Tracer.Add(c.cfg.TraceParent, counter, v)
+}
+
+func (c *Chain) count(name string, v int64) {
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Counter(name).Add(v)
+	}
+}

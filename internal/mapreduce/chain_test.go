@@ -1,0 +1,358 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mwsjoin/internal/dfs"
+	"mwsjoin/internal/metrics"
+	"mwsjoin/internal/trace"
+)
+
+// testChainSteps builds a deterministic 3-step synthetic chain over
+// cfg's FS: step i transforms its input records by appending byte i
+// and adds one fresh record, so the final output encodes exactly which
+// steps ran and in what order. calls[i] counts how often step i's
+// closure actually executed (0 for resumed steps).
+func runTestChain(t *testing.T, cfg ChainConfig, calls *[3]int) ([][]byte, ChainStats, error) {
+	t.Helper()
+	ch := NewChain(cfg)
+	mkStats := func(i int) *Stats {
+		return &Stats{
+			Job:               fmt.Sprintf("job-%d", i),
+			IntermediatePairs: int64(10 * (i + 1)),
+			PairsPerReducer:   []int64{int64(i), int64(i + 1)},
+		}
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		_, err := ch.Step(fmt.Sprintf("s%d", i), func(in [][]byte) ([][]byte, *Stats, error) {
+			calls[i]++
+			if i == 0 && in != nil {
+				t.Errorf("step 0 received non-nil input %v", in)
+			}
+			var out [][]byte
+			for _, rec := range in {
+				out = append(out, append(append([]byte(nil), rec...), byte(i)))
+			}
+			out = append(out, []byte{byte(100 + i)})
+			return out, mkStats(i), nil
+		})
+		if err != nil {
+			return nil, ch.Stats(), err
+		}
+	}
+	out, err := ch.Output()
+	return out, ch.Stats(), err
+}
+
+func TestChainCleanRun(t *testing.T) {
+	fs := dfs.New(0)
+	var calls [3]int
+	out, cs, err := runTestChain(t, ChainConfig{Name: "t", FS: fs}, &calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{{100, 1, 2}, {101, 2}, {102}}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+	if calls != [3]int{1, 1, 1} {
+		t.Errorf("step calls = %v, want all 1", calls)
+	}
+	if cs.Jobs != 3 || cs.JobsRun != 3 || cs.ResumedJobs != 0 {
+		t.Errorf("chain stats = %+v", cs)
+	}
+	// Every checkpoint and meta file exists under the default prefix.
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("chk/t/%03d-s%d", i, i)
+		if !fs.Exists(name) || !fs.Exists(name+".meta") {
+			t.Errorf("checkpoint %q (or its meta) missing", name)
+		}
+	}
+	// The chain's own byte counters reconcile with the DFS counters:
+	// chain checkpoints are the only traffic on this FS.
+	st := fs.Stats()
+	if cs.CheckpointBytesWritten != st.BytesWritten {
+		t.Errorf("CheckpointBytesWritten = %d, fs wrote %d", cs.CheckpointBytesWritten, st.BytesWritten)
+	}
+	if cs.CheckpointBytesRead != st.BytesRead {
+		t.Errorf("CheckpointBytesRead = %d, fs read %d", cs.CheckpointBytesRead, st.BytesRead)
+	}
+}
+
+// metaBytes sums the sizes of the meta records of checkpoints 0..k-1,
+// the documented extra read cost of resuming past k completed jobs.
+func metaBytes(t *testing.T, fs *dfs.FS, chain string, k int) int64 {
+	t.Helper()
+	var total int64
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("chk/%s/%03d-s%d.meta", chain, i, i)
+		b, _, err := fs.Size(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += b
+	}
+	return total
+}
+
+func TestChainKillResumeEveryBoundary(t *testing.T) {
+	// Reference: a clean run on its own FS.
+	cleanFS := dfs.New(0)
+	var cleanCalls [3]int
+	cleanOut, _, err := runTestChain(t, ChainConfig{Name: "t", FS: cleanFS}, &cleanCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanIO := cleanFS.Stats()
+
+	for k := 0; k < 3; k++ {
+		fs := dfs.New(0)
+		var calls [3]int
+		_, killedStats, err := runTestChain(t, ChainConfig{
+			Name: "t", FS: fs,
+			FailJob: func(i int) bool { return i == k },
+		}, &calls)
+		var killed *ChainKilledError
+		if !errors.As(err, &killed) {
+			t.Fatalf("k=%d: err = %v, want ChainKilledError", k, err)
+		}
+		if killed.Chain != "t" || killed.Job != k || killed.Step != fmt.Sprintf("s%d", k) {
+			t.Errorf("k=%d: kill = %+v", k, killed)
+		}
+		if !strings.Contains(killed.Error(), "resume") {
+			t.Errorf("k=%d: error %q does not mention resume", k, killed)
+		}
+		if killedStats.JobsRun != int64(k) {
+			t.Errorf("k=%d: killed run executed %d jobs, want %d", k, killedStats.JobsRun, k)
+		}
+		for i := 0; i < 3; i++ {
+			want := 0
+			if i < k {
+				want = 1
+			}
+			if calls[i] != want {
+				t.Errorf("k=%d: step %d ran %d times in killed run, want %d", k, i, calls[i], want)
+			}
+		}
+		killedIO := fs.Stats()
+
+		// Resume on the same FS: completed jobs are skipped, the output
+		// is bit-identical to the clean run's.
+		var resumeCalls [3]int
+		out, cs, err := runTestChain(t, ChainConfig{Name: "t", FS: fs, Resume: true}, &resumeCalls)
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		if !reflect.DeepEqual(out, cleanOut) {
+			t.Errorf("k=%d: resumed output %v differs from clean %v", k, out, cleanOut)
+		}
+		if cs.Jobs != 3 || cs.ResumedJobs != int64(k) || cs.JobsRun != int64(3-k) {
+			t.Errorf("k=%d: resume chain stats = %+v", k, cs)
+		}
+		for i := 0; i < 3; i++ {
+			want := 0
+			if i >= k {
+				want = 1
+			}
+			if resumeCalls[i] != want {
+				t.Errorf("k=%d: step %d ran %d times in resume run, want %d", k, i, resumeCalls[i], want)
+			}
+		}
+
+		// The recovery cost is exactly the documented checkpoint
+		// accounting: kill+resume write what a clean run writes (nothing
+		// is written twice), and read the clean run's reads plus one
+		// meta record per skipped job.
+		resumeIO := statsMinus(fs.Stats(), killedIO)
+		if got, want := killedIO.BytesWritten+resumeIO.BytesWritten, cleanIO.BytesWritten; got != want {
+			t.Errorf("k=%d: kill+resume wrote %d bytes, clean wrote %d", k, got, want)
+		}
+		if got, want := killedIO.BytesRead+resumeIO.BytesRead, cleanIO.BytesRead+metaBytes(t, fs, "t", k); got != want {
+			t.Errorf("k=%d: kill+resume read %d bytes, want clean %d + skipped metas %d",
+				k, got, cleanIO.BytesRead, metaBytes(t, fs, "t", k))
+		}
+	}
+}
+
+func statsMinus(after, before dfs.Stats) dfs.Stats {
+	return dfs.Stats{
+		BytesWritten:   after.BytesWritten - before.BytesWritten,
+		BytesRead:      after.BytesRead - before.BytesRead,
+		RecordsWritten: after.RecordsWritten - before.RecordsWritten,
+		RecordsRead:    after.RecordsRead - before.RecordsRead,
+	}
+}
+
+// TestChainResumedStatsRoundTrip: a resumed step returns the Stats its
+// original run recorded, surviving the JSON meta round trip exactly
+// (all fields are integers).
+func TestChainResumedStatsRoundTrip(t *testing.T) {
+	fs := dfs.New(0)
+	orig := &Stats{Job: "j", IntermediatePairs: 42, IntermediateBytes: 999,
+		ReduceInputKeys: 7, PairsPerReducer: []int64{40, 2}, MapAttempts: 3,
+		MapWall: time.Second, TotalWall: 2 * time.Second}
+	ch := NewChain(ChainConfig{Name: "rt", FS: fs})
+	if _, err := ch.Step("s0", func(_ [][]byte) ([][]byte, *Stats, error) {
+		return [][]byte{{1}}, orig, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ch2 := NewChain(ChainConfig{Name: "rt", FS: fs, Resume: true})
+	st, err := ch2.Step("s0", func(_ [][]byte) ([][]byte, *Stats, error) {
+		t.Fatal("resumed step must not run")
+		return nil, nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything survives the JSON round trip except wall times, which
+	// the meta record deliberately drops (nondeterministic length).
+	want := *orig
+	want.MapWall, want.ReduceWall, want.TotalWall = 0, 0, 0
+	if !reflect.DeepEqual(st, &want) {
+		t.Errorf("resumed stats = %+v, want %+v", st, &want)
+	}
+	// Output works when every step was resumed.
+	out, err := ch2.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, [][]byte{{1}}) {
+		t.Errorf("output after full resume = %v", out)
+	}
+}
+
+// TestChainFinalStepNeverResumed: FinalSteps commit nothing, so a
+// resume re-runs them even when a completed chain left every Step
+// checkpoint behind.
+func TestChainFinalStepNeverResumed(t *testing.T) {
+	fs := dfs.New(0)
+	run := func(resume bool) (stepRan, finalRan int) {
+		ch := NewChain(ChainConfig{Name: "f", FS: fs, Resume: resume})
+		if _, err := ch.Step("s0", func(_ [][]byte) ([][]byte, *Stats, error) {
+			stepRan++
+			return [][]byte{{7}}, &Stats{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ch.FinalStep("final", func(in [][]byte) (*Stats, error) {
+			finalRan++
+			if !reflect.DeepEqual(in, [][]byte{{7}}) {
+				t.Errorf("final step input = %v", in)
+			}
+			return &Stats{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return stepRan, finalRan
+	}
+	if s, f := run(false); s != 1 || f != 1 {
+		t.Fatalf("clean run: step %d final %d", s, f)
+	}
+	if s, f := run(true); s != 0 || f != 1 {
+		t.Fatalf("resume run: step ran %d times (want 0), final %d (want 1)", s, f)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewChain with nil FS must panic")
+		}
+	}()
+
+	fs := dfs.New(0)
+	// Resuming against a mismatched checkpoint layout fails loudly.
+	ch := NewChain(ChainConfig{Name: "v", FS: fs})
+	if _, err := ch.Step("alpha", func(_ [][]byte) ([][]byte, *Stats, error) {
+		return [][]byte{{1}}, &Stats{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Same chain name, different step name at index 0: the file names
+	// differ, so the checkpoint is simply absent and the step re-runs —
+	// but a truncated data file against an intact meta is an error.
+	if err := fs.Delete("chk/v/000-alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("chk/v/000-alpha", [][]byte{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	ch2 := NewChain(ChainConfig{Name: "v", FS: fs, Resume: true})
+	_, err := ch2.Step("alpha", func(_ [][]byte) ([][]byte, *Stats, error) {
+		return nil, nil, fmt.Errorf("should not run")
+	})
+	if err == nil || !strings.Contains(err.Error(), "use a fresh FS or prefix") {
+		t.Errorf("record-count mismatch: err = %v", err)
+	}
+
+	// Stepping after a kill is a chain-state error.
+	ch3 := NewChain(ChainConfig{Name: "k", FS: fs, FailJob: func(int) bool { return true }})
+	if _, err := ch3.Step("s", func(_ [][]byte) ([][]byte, *Stats, error) {
+		return nil, &Stats{}, nil
+	}); err == nil {
+		t.Fatal("expected kill")
+	}
+	if _, err := ch3.Step("s2", func(_ [][]byte) ([][]byte, *Stats, error) {
+		return nil, &Stats{}, nil
+	}); err == nil || !strings.Contains(err.Error(), "after kill") {
+		t.Errorf("step after kill: err = %v", err)
+	}
+
+	// Output before any checkpointed step is an error.
+	ch4 := NewChain(ChainConfig{Name: "o", FS: fs})
+	if _, err := ch4.Output(); err == nil {
+		t.Error("Output on empty chain must fail")
+	}
+
+	NewChain(ChainConfig{Name: "nilfs"}) // panics; recovered above
+}
+
+// TestChainObservability: the chain's trace counters and metrics
+// totals mirror ChainStats exactly.
+func TestChainObservability(t *testing.T) {
+	fs := dfs.New(0)
+	var calls [3]int
+	if _, _, err := runTestChain(t, ChainConfig{Name: "t", FS: fs}, &calls); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := trace.New()
+	reg := metrics.NewRegistry()
+	root := tr.Start(0, trace.KindRun, "chainrun")
+	var resumeCalls [3]int
+	_, cs, err := runTestChain(t, ChainConfig{
+		Name: "t", FS: fs, Resume: true,
+		Tracer: tr, TraceParent: root, Metrics: reg,
+	}, &resumeCalls)
+	tr.End(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.ResumedJobs != 3 {
+		t.Fatalf("resumed jobs = %d, want 3", cs.ResumedJobs)
+	}
+	spans := tr.Spans()
+	counters := spans[0].Counters
+	if counters["resumed_jobs"] != cs.ResumedJobs {
+		t.Errorf("trace resumed_jobs = %d, want %d", counters["resumed_jobs"], cs.ResumedJobs)
+	}
+	if counters["checkpoint_bytes_read"] != cs.CheckpointBytesRead {
+		t.Errorf("trace checkpoint_bytes_read = %d, want %d", counters["checkpoint_bytes_read"], cs.CheckpointBytesRead)
+	}
+	if got := reg.Counter("chain_jobs_resumed_total").Value(); got != cs.ResumedJobs {
+		t.Errorf("metric chain_jobs_resumed_total = %d, want %d", got, cs.ResumedJobs)
+	}
+	if got := reg.Counter("chain_checkpoint_bytes_read_total").Value(); got != cs.CheckpointBytesRead {
+		t.Errorf("metric chain_checkpoint_bytes_read_total = %d, want %d", got, cs.CheckpointBytesRead)
+	}
+	if got := reg.Counter("chain_jobs_total").Value(); got != cs.Jobs {
+		t.Errorf("metric chain_jobs_total = %d, want %d", got, cs.Jobs)
+	}
+}

@@ -76,6 +76,26 @@ type Config struct {
 	// that side effects of the user Reduce function itself (shared
 	// counters, ...) cannot be rolled back by the engine.
 	FailReduce func(reducer, attempt int) bool
+	// SlowTask, when non-nil, deterministically marks straggler tasks:
+	// a marked map (reduce) task sleeps StragglerDelay inside each of
+	// its regular attempts, simulating a slow node. phase is "map" or
+	// "reduce". Marking changes wall times only, never results.
+	SlowTask func(phase string, task int) bool
+	// Speculative enables Hadoop-style speculative execution: every
+	// attempt of a straggler task races a backup attempt; the first
+	// finisher's output commits and the loser's output and accounting
+	// are discarded, so results and Stats are identical with and
+	// without speculation. When SlowTask is nil, task 0 of each phase
+	// is marked. Map and Reduce must be deterministic; their side
+	// effects (shared counters, ...) run once per racer, exactly as
+	// they re-run on a FailMap/FailReduce retry. Backup attempts are
+	// not counted in Stats.MapAttempts/ReduceAttempts — they surface as
+	// speculative_attempts trace counters and the
+	// mapreduce_speculative_attempts_total metric.
+	Speculative bool
+	// StragglerDelay is the simulated straggler slowdown; defaults to
+	// 2ms when SlowTask marks anything.
+	StragglerDelay time.Duration
 	// Tracer, when non-nil, receives job → phase → task-attempt spans
 	// and counters for this job; TraceParent is the span they nest
 	// under (0 for a root job span). A nil Tracer costs nothing.
@@ -102,6 +122,12 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 1
+	}
+	if cfg.Speculative && cfg.SlowTask == nil {
+		cfg.SlowTask = func(_ string, task int) bool { return task == 0 }
+	}
+	if cfg.SlowTask != nil && cfg.StragglerDelay <= 0 {
+		cfg.StragglerDelay = 2 * time.Millisecond
 	}
 	return cfg, nil
 }
@@ -383,14 +409,18 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		mapLogs = make([][]taskAttempt, nm)
 	}
 
+	specMap := make([]int64, nm)
 	runTasks(cfg.Parallelism, nm, func(m int) {
 		lo := len(input) * m / nm
 		hi := len(input) * (m + 1) / nm
-		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
-			attempts[m]++
-			var t0 time.Time
+		var delay time.Duration
+		if cfg.SlowTask != nil && cfg.SlowTask("map", m) {
+			delay = cfg.StragglerDelay
+		}
+		body := func(d time.Duration) attemptOutcome[[]pairBatch[K, V]] {
+			var a attemptOutcome[[]pairBatch[K, V]]
 			if timed {
-				t0 = time.Now()
+				a.t0 = time.Now()
 			}
 			out := make([]pairBatch[K, V], cfg.NumReducers)
 			emit := func(k K, v V) {
@@ -400,22 +430,44 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				}
 				out[r].pairs = append(out[r].pairs, pair[K, V]{key: k, val: v})
 			}
-			var err error
-			for i := lo; i < hi && err == nil; i++ {
-				err = safeMap(j.Map, input[i], emit)
+			for i := lo; i < hi && a.err == nil; i++ {
+				a.err = safeMap(j.Map, input[i], emit)
 			}
-			injected := cfg.FailMap != nil && cfg.FailMap(m, attempt)
-			if err == nil && !injected && !legacyGrouping {
-				// Sorting, combining and byte accounting run inside the
-				// map task, so the attempt timing covers them and a
-				// discarded attempt discards its accounting with the
-				// batch.
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if a.err == nil && !legacyGrouping {
+				// Sorting, combining and byte accounting run inside every
+				// attempt — including ones later discarded by fault
+				// injection or a lost speculative race, which crash after
+				// their spill like a real Hadoop task — so the attempt
+				// timing covers the work and a discarded attempt's combine
+				// and byte accounting is discarded with its batch, never
+				// leaked into Stats.
 				for r := range out {
 					finalizeRun(&out[r], ranker, j.Combine, j.PairBytes)
 				}
 			}
+			a.res = out
 			if timed {
-				mapLogs[m] = append(mapLogs[m], taskAttempt{start: t0, end: time.Now(), failed: injected})
+				a.t1 = time.Now()
+			}
+			return a
+		}
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			attempts[m]++
+			raced := cfg.Speculative && delay > 0
+			var won, lost attemptOutcome[[]pairBatch[K, V]]
+			var backupWon bool
+			if raced {
+				won, lost, backupWon = raceAttempt(body, delay)
+				specMap[m]++
+			} else {
+				won = body(delay)
+			}
+			injected := cfg.FailMap != nil && cfg.FailMap(m, attempt)
+			if timed {
+				logRace(&mapLogs[m], won, lost, raced, backupWon, injected)
 			}
 			if injected {
 				failures[m]++
@@ -425,17 +477,19 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				}
 				continue // discard output, retry
 			}
-			if err != nil {
-				mapErrs[m] = fmt.Errorf("mapreduce: job %q: mapper %d: %w", cfg.Name, m, err)
+			if won.err != nil {
+				mapErrs[m] = fmt.Errorf("mapreduce: job %q: mapper %d: %w", cfg.Name, m, won.err)
 				return
 			}
-			batches[m] = out
+			batches[m] = won.res
 			return
 		}
 	})
+	var mapSpec int64
 	for m := range attempts {
 		stats.MapAttempts += attempts[m]
 		stats.MapFailures += failures[m]
+		mapSpec += specMap[m]
 	}
 	if j.Combine != nil {
 		for _, bm := range batches { // nil for failed mappers: skipped
@@ -453,6 +507,9 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		tr.Add(mapSpan, "records_in", stats.MapInputRecords)
 		tr.Add(mapSpan, "attempts", stats.MapAttempts)
 		tr.Add(mapSpan, "injected_failures", stats.MapFailures)
+		if cfg.Speculative {
+			tr.Add(mapSpan, "speculative_attempts", mapSpec)
+		}
 		if j.Combine != nil {
 			tr.Add(mapSpan, "combine_in", stats.CombineInputPairs)
 			tr.Add(mapSpan, "combine_out", stats.CombineOutputPairs)
@@ -553,6 +610,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	if timed {
 		redLogs = make([][]taskAttempt, cfg.NumReducers)
 	}
+	specRed := make([]int64, cfg.NumReducers)
 	runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) {
 		in := rin[r]
 		if len(in.keys) == 0 {
@@ -561,8 +619,9 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		// The merged run already holds each key's values contiguously
 		// in (mapper index, emit order); index its group boundaries
 		// once — the view is derived from the immutable shuffle output,
-		// so retried attempts reuse it. The legacy path instead rebuilds
-		// the pre-pipeline map[K][]V plus sorted distinct keys.
+		// so retried and speculative attempts reuse it. The legacy path
+		// instead rebuilds the pre-pipeline map[K][]V plus sorted
+		// distinct keys.
 		var starts []int
 		var lgroups map[K][]V
 		var lkeys []K
@@ -574,19 +633,21 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			starts = groupStarts(in.keys)
 			nkeys = len(starts) - 1
 		}
-		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
-			redAttempts[r]++
-			var t0 time.Time
+		var delay time.Duration
+		if cfg.SlowTask != nil && cfg.SlowTask("reduce", r) {
+			delay = cfg.StragglerDelay
+		}
+		body := func(d time.Duration) attemptOutcome[[]O] {
+			var a attemptOutcome[[]O]
 			if timed {
-				t0 = time.Now()
+				a.t0 = time.Now()
 			}
 			var out []O
 			emit := func(o O) { out = append(out, o) }
-			var rerr error
 			if legacyGrouping {
 				for _, k := range lkeys {
-					if rerr = safeReduce(j.Reduce, k, lgroups[k], emit); rerr != nil {
-						rerr = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, rerr)
+					if a.err = safeReduce(j.Reduce, k, lgroups[k], emit); a.err != nil {
+						a.err = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, a.err)
 						break
 					}
 				}
@@ -594,15 +655,35 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				for g := 0; g+1 < len(starts); g++ {
 					glo, ghi := starts[g], starts[g+1]
 					k := in.keys[glo]
-					if rerr = safeReduce(j.Reduce, k, in.vals[glo:ghi:ghi], emit); rerr != nil {
-						rerr = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, rerr)
+					if a.err = safeReduce(j.Reduce, k, in.vals[glo:ghi:ghi], emit); a.err != nil {
+						a.err = fmt.Errorf("mapreduce: job %q: reducer %d key %v: %w", cfg.Name, r, k, a.err)
 						break
 					}
 				}
 			}
+			if d > 0 {
+				time.Sleep(d)
+			}
+			a.res = out
+			if timed {
+				a.t1 = time.Now()
+			}
+			return a
+		}
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			redAttempts[r]++
+			raced := cfg.Speculative && delay > 0
+			var won, lost attemptOutcome[[]O]
+			var backupWon bool
+			if raced {
+				won, lost, backupWon = raceAttempt(body, delay)
+				specRed[r]++
+			} else {
+				won = body(delay)
+			}
 			injected := cfg.FailReduce != nil && cfg.FailReduce(r, attempt)
 			if timed {
-				redLogs[r] = append(redLogs[r], taskAttempt{start: t0, end: time.Now(), failed: injected})
+				logRace(&redLogs[r], won, lost, raced, backupWon, injected)
 			}
 			if injected {
 				redFailures[r]++
@@ -612,18 +693,20 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				}
 				continue // discard partial output, retry
 			}
-			if rerr != nil {
-				redErrs[r] = rerr
+			if won.err != nil {
+				redErrs[r] = won.err
 				return
 			}
-			outputs[r] = out
+			outputs[r] = won.res
 			keyCounts[r] = int64(nkeys)
 			return
 		}
 	})
+	var redSpec int64
 	for r := range redAttempts {
 		stats.ReduceAttempts += redAttempts[r]
 		stats.ReduceFailures += redFailures[r]
+		redSpec += specRed[r]
 	}
 	stats.ReduceWall = time.Since(reduceStart)
 
@@ -639,6 +722,9 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		tr.Add(reduceSpan, "records_out", stats.ReduceOutputRecords)
 		tr.Add(reduceSpan, "attempts", stats.ReduceAttempts)
 		tr.Add(reduceSpan, "injected_failures", stats.ReduceFailures)
+		if cfg.Speculative {
+			tr.Add(reduceSpan, "speculative_attempts", redSpec)
+		}
 	}
 	tr.End(reduceSpan)
 	for _, err := range redErrs {
@@ -665,8 +751,11 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			tr.Add(jobSpan, "combine_in", stats.CombineInputPairs)
 			tr.Add(jobSpan, "combine_out", stats.CombineOutputPairs)
 		}
+		if cfg.Speculative {
+			tr.Add(jobSpan, "speculative_attempts", mapSpec+redSpec)
+		}
 	}
-	recordMetrics(cfg.Metrics, stats, j.Combine != nil, keyCounts, bytesPerReducer, mapLogs, redLogs)
+	recordMetrics(cfg.Metrics, stats, j.Combine != nil, cfg.Speculative, mapSpec+redSpec, keyCounts, bytesPerReducer, mapLogs, redLogs)
 	return out, stats, nil
 }
 
@@ -684,7 +773,7 @@ const ReducerPairsHistogram = "mapreduce_reducer_pairs"
 // counters mirroring Stats exactly, per-reducer pair/key/byte
 // distributions, task-attempt latency distributions, and the job's
 // imbalance factor. A nil registry records nothing.
-func recordMetrics(m *metrics.Registry, stats *Stats, hasCombine bool, keyCounts, bytesPerReducer []int64, mapLogs, redLogs [][]taskAttempt) {
+func recordMetrics(m *metrics.Registry, stats *Stats, hasCombine, speculative bool, spec int64, keyCounts, bytesPerReducer []int64, mapLogs, redLogs [][]taskAttempt) {
 	if m == nil {
 		return
 	}
@@ -703,6 +792,12 @@ func recordMetrics(m *metrics.Registry, stats *Stats, hasCombine bool, keyCounts
 		// workloads are byte-identical to the pre-combiner engine.
 		m.Counter("mapreduce_combine_input_pairs_total").Add(stats.CombineInputPairs)
 		m.Counter("mapreduce_combine_output_pairs_total").Add(stats.CombineOutputPairs)
+	}
+	if speculative {
+		// Registered only when speculation is on, so scrapes of
+		// non-speculative workloads are unchanged. Kept out of Stats
+		// entirely: speculation must not perturb result accounting.
+		m.Counter("mapreduce_speculative_attempts_total").Add(spec)
 	}
 
 	pairsH := m.Histogram("mapreduce_reducer_pairs")
@@ -760,6 +855,11 @@ func SuggestedSkewThreshold(reg *metrics.Registry) float64 {
 type taskAttempt struct {
 	start, end time.Time
 	failed     bool
+	// speculative marks the backup racer of a speculative pair;
+	// discarded marks whichever racer lost the race (its output and
+	// accounting were thrown away).
+	speculative bool
+	discarded   bool
 }
 
 // logTaskAttempts records the per-task attempt spans of one phase.
@@ -771,8 +871,67 @@ func logTaskAttempts(tr *trace.Tracer, phase trace.SpanID, kind string, logs [][
 			if a.failed {
 				tr.Add(id, "injected_failure", 1)
 			}
+			if a.speculative {
+				tr.Add(id, "speculative", 1)
+			}
+			if a.discarded {
+				tr.Add(id, "discarded", 1)
+			}
 		}
 	}
+}
+
+// attemptOutcome is one task attempt's result: its output, error, and
+// locally measured wall clock (zero when the job is untraced).
+type attemptOutcome[T any] struct {
+	res    T
+	err    error
+	t0, t1 time.Time
+}
+
+// raceAttempt runs body twice concurrently — the original attempt with
+// the straggler delay and a backup attempt without it — and commits
+// whichever finishes first, exactly Hadoop's speculative execution.
+// The loser keeps running to completion (a speculative task is not
+// preempted) but its outcome is returned only for logging; the caller
+// commits won and discards lost. Because Map/Reduce are required to be
+// deterministic, both racers compute the same value, so which racer
+// the atomic flag crowns cannot change the committed output — it only
+// changes which wall-clock numbers are kept.
+func raceAttempt[T any](body func(d time.Duration) attemptOutcome[T], delay time.Duration) (won, lost attemptOutcome[T], backupWon bool) {
+	var winner atomic.Int32 // 0 undecided, 1 original, 2 backup
+	backupCh := make(chan attemptOutcome[T], 1)
+	go func() {
+		a := body(0)
+		winner.CompareAndSwap(0, 2)
+		backupCh <- a
+	}()
+	orig := body(delay)
+	winner.CompareAndSwap(0, 1)
+	backup := <-backupCh
+	if winner.Load() == 2 {
+		return backup, orig, true
+	}
+	return orig, backup, false
+}
+
+// logRace appends the attempt-log entries for one (possibly raced)
+// attempt: the original first, then the backup racer if one ran. Both
+// carry the injected-failure flag — a deterministic FailMap/FailReduce
+// verdict applies to the attempt number, not to an individual racer.
+func logRace[T any](logs *[]taskAttempt, won, lost attemptOutcome[T], raced, backupWon, injected bool) {
+	if !raced {
+		*logs = append(*logs, taskAttempt{start: won.t0, end: won.t1, failed: injected})
+		return
+	}
+	orig, backup := won, lost
+	if backupWon {
+		orig, backup = lost, won
+	}
+	*logs = append(*logs,
+		taskAttempt{start: orig.t0, end: orig.t1, failed: injected, discarded: backupWon},
+		taskAttempt{start: backup.t0, end: backup.t1, failed: injected, speculative: true, discarded: !backupWon},
+	)
 }
 
 // safeMap invokes the map function, converting panics into errors so a

@@ -1,0 +1,88 @@
+package mapreduce
+
+import (
+	"cmp"
+	"testing"
+
+	"mwsjoin/internal/grid"
+)
+
+// checkRank asserts the order-preservation contract for one key type:
+// rank(a) < rank(b) exactly when a < b, and equal ranks exactly for
+// equal keys. The LSD radix sort orders runs purely by rank, so any
+// violation silently mis-sorts the shuffle.
+func checkRank[K cmp.Ordered](t *testing.T, a, b K) {
+	t.Helper()
+	rank := keyRanker[K]()
+	if rank == nil {
+		t.Fatalf("keyRanker[%T] returned nil for an integer kind", a)
+	}
+	ra, rb := rank(a), rank(b)
+	switch {
+	case a < b && !(ra < rb):
+		t.Errorf("%T: %v < %v but rank %#x >= %#x", a, a, b, ra, rb)
+	case a > b && !(ra > rb):
+		t.Errorf("%T: %v > %v but rank %#x <= %#x", a, a, b, ra, rb)
+	case a == b && ra != rb:
+		t.Errorf("%T: %v == %v but rank %#x != %#x", a, a, b, ra, rb)
+	}
+}
+
+// namedInt8 through namedUint64 exercise the reflect fallback: named
+// integer types fail every direct func-type assertion in keyRanker and
+// resolve through the Kind probe instead.
+type (
+	namedInt8   int8
+	namedInt32  int32
+	namedInt64  int64
+	namedUint16 uint16
+	namedUint64 uint64
+)
+
+// FuzzKeyRanker fuzzes the order-preservation contract across all
+// integer kinds, both unnamed (assertion chain) and named (reflect
+// fallback), including grid.CellID — the engine's hottest key type.
+// The two fuzz arguments are truncated into each narrower kind, so
+// negative values, sign boundaries, and wraparound pairs are all
+// reachable from the integer corpus.
+func FuzzKeyRanker(f *testing.F) {
+	seeds := [][2]int64{
+		{0, 0}, {-1, 0}, {0, 1}, {-1, 1},
+		{-1 << 63, 1<<63 - 1}, {-1 << 63, -1<<63 + 1},
+		{1<<63 - 1, 1<<63 - 2}, {127, -128}, {255, 256},
+		{-32768, 32767}, {1 << 31, -1 << 31},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, x, y int64) {
+		checkRank(t, x, y)
+		checkRank(t, int(x), int(y))
+		checkRank(t, int8(x), int8(y))
+		checkRank(t, int16(x), int16(y))
+		checkRank(t, int32(x), int32(y))
+		checkRank(t, uint(x), uint(y))
+		checkRank(t, uint8(x), uint8(y))
+		checkRank(t, uint16(x), uint16(y))
+		checkRank(t, uint32(x), uint32(y))
+		checkRank(t, uint64(x), uint64(y))
+		checkRank(t, uintptr(x), uintptr(y))
+		checkRank(t, namedInt8(x), namedInt8(y))
+		checkRank(t, namedInt32(x), namedInt32(y))
+		checkRank(t, namedInt64(x), namedInt64(y))
+		checkRank(t, namedUint16(x), namedUint16(y))
+		checkRank(t, namedUint64(x), namedUint64(y))
+		checkRank(t, grid.CellID(x), grid.CellID(y))
+	})
+}
+
+// TestKeyRankerNonInteger pins the contract that non-integer kinds have
+// no ranker and therefore take the comparison sort path.
+func TestKeyRankerNonInteger(t *testing.T) {
+	if keyRanker[string]() != nil {
+		t.Error("keyRanker[string] must be nil")
+	}
+	if keyRanker[float64]() != nil {
+		t.Error("keyRanker[float64] must be nil")
+	}
+}

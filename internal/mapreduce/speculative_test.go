@@ -1,0 +1,213 @@
+package mapreduce
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"mwsjoin/internal/metrics"
+	"mwsjoin/internal/trace"
+)
+
+// combineWordCountJob is wordCountJob plus a summing combiner, so the
+// combine counters and combiner-reduced IntermediateBytes are live —
+// the counters the fault-accounting sweep must keep honest.
+func combineWordCountJob(cfg Config) *Job[string, string, int, string] {
+	j := wordCountJob(cfg)
+	j.Combine = func(_ string, vs []int) []int {
+		sum := 0
+		for _, v := range vs {
+			sum += v
+		}
+		return []int{sum}
+	}
+	return j
+}
+
+func specInput() []string {
+	var input []string
+	for i := 0; i < 40; i++ {
+		input = append(input, fmt.Sprintf("w%d w%d w%d common", i%7, i%11, i%13))
+	}
+	return input
+}
+
+// zeroWalls clears the only Stats fields allowed to differ between two
+// runs of the same deterministic job: measured wall times.
+func zeroWalls(st *Stats) {
+	st.MapWall, st.ReduceWall, st.TotalWall = 0, 0, 0
+}
+
+// TestFaultInjectionStatsBitEqual is the satellite regression: a run
+// whose every task fails MaxAttempts−1 times must report bit-identical
+// Stats to a clean run, except for the attempt/failure counters (which
+// must equal exactly their documented values) and wall times. In
+// particular the discarded attempts' Combine work must not leak into
+// CombineInputPairs/CombineOutputPairs/IntermediateBytes.
+func TestFaultInjectionStatsBitEqual(t *testing.T) {
+	input := specInput()
+	const maxAttempts = 3
+	for _, par := range []int{1, 2, 8} {
+		base := Config{Name: "acct", NumReducers: 5, NumMappers: 4,
+			Parallelism: par, MaxAttempts: maxAttempts}
+
+		cleanOut, clean, err := combineWordCountJob(base).Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		faulty := base
+		faulty.FailMap = func(_, attempt int) bool { return attempt < maxAttempts }
+		faulty.FailReduce = func(_, attempt int) bool { return attempt < maxAttempts }
+		out, st, err := combineWordCountJob(faulty).Run(input)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+
+		if !reflect.DeepEqual(out, cleanOut) {
+			t.Errorf("par=%d: output differs under fault injection", par)
+		}
+		// Every map task and every non-empty reduce task made exactly
+		// MaxAttempts attempts, failing all but the last.
+		if st.MapAttempts != maxAttempts*clean.MapAttempts ||
+			st.MapFailures != (maxAttempts-1)*clean.MapAttempts {
+			t.Errorf("par=%d: map attempts/failures = %d/%d, want %d/%d", par,
+				st.MapAttempts, st.MapFailures,
+				maxAttempts*clean.MapAttempts, (maxAttempts-1)*clean.MapAttempts)
+		}
+		if st.ReduceAttempts != maxAttempts*clean.ReduceAttempts ||
+			st.ReduceFailures != (maxAttempts-1)*clean.ReduceAttempts {
+			t.Errorf("par=%d: reduce attempts/failures = %d/%d, want %d/%d", par,
+				st.ReduceAttempts, st.ReduceFailures,
+				maxAttempts*clean.ReduceAttempts, (maxAttempts-1)*clean.ReduceAttempts)
+		}
+		// With the documented deltas normalised away, the structs must
+		// be bit-equal — any other difference is an accounting leak from
+		// a discarded attempt.
+		norm, cleanNorm := *st, *clean
+		zeroWalls(&norm)
+		zeroWalls(&cleanNorm)
+		norm.MapAttempts, norm.MapFailures = cleanNorm.MapAttempts, cleanNorm.MapFailures
+		norm.ReduceAttempts, norm.ReduceFailures = cleanNorm.ReduceAttempts, cleanNorm.ReduceFailures
+		if !reflect.DeepEqual(norm, cleanNorm) {
+			t.Errorf("par=%d: Stats leak under fault injection:\n faulty %+v\n clean  %+v", par, norm, cleanNorm)
+		}
+	}
+}
+
+// TestSpeculativeEquivalence: enabling speculative execution must not
+// change the job's output or any Stats field — backup attempts compute
+// the same deterministic function and their accounting is discarded.
+// Exercised across parallelism levels with combiner, byte accounting,
+// and straggler marks on several tasks.
+func TestSpeculativeEquivalence(t *testing.T) {
+	input := specInput()
+	slow := func(_ string, task int) bool { return task%2 == 0 }
+	for _, par := range []int{1, 2, 8} {
+		base := Config{Name: "spec", NumReducers: 5, NumMappers: 4, Parallelism: par,
+			SlowTask: slow, StragglerDelay: time.Millisecond}
+		offOut, off, err := combineWordCountJob(base).Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on := base
+		on.Speculative = true
+		onOut, onSt, err := combineWordCountJob(on).Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(onOut, offOut) {
+			t.Errorf("par=%d: speculative run changed the output", par)
+		}
+		offNorm, onNorm := *off, *onSt
+		zeroWalls(&offNorm)
+		zeroWalls(&onNorm)
+		if !reflect.DeepEqual(onNorm, offNorm) {
+			t.Errorf("par=%d: speculative run perturbed Stats:\n on  %+v\n off %+v", par, onNorm, offNorm)
+		}
+	}
+}
+
+// TestSpeculativeWithRetries: speculation composes with fault
+// injection — raced attempts that also carry an injected failure retry
+// like any other attempt, and the equivalence still holds.
+func TestSpeculativeWithRetries(t *testing.T) {
+	input := specInput()
+	mk := func(spec bool) Config {
+		return Config{Name: "specfail", NumReducers: 4, NumMappers: 3, Parallelism: 4,
+			MaxAttempts: 3, Speculative: spec,
+			SlowTask:       func(_ string, task int) bool { return task == 0 },
+			StragglerDelay: time.Millisecond,
+			FailMap:        func(m, attempt int) bool { return m == 0 && attempt == 1 },
+			FailReduce:     func(r, attempt int) bool { return r == 1 && attempt < 3 },
+		}
+	}
+	offOut, off, err := combineWordCountJob(mk(false)).Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onOut, on, err := combineWordCountJob(mk(true)).Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(onOut, offOut) {
+		t.Error("speculative+faulty run changed the output")
+	}
+	offNorm, onNorm := *off, *on
+	zeroWalls(&offNorm)
+	zeroWalls(&onNorm)
+	if !reflect.DeepEqual(onNorm, offNorm) {
+		t.Errorf("speculative+faulty run perturbed Stats:\n on  %+v\n off %+v", onNorm, offNorm)
+	}
+}
+
+// TestSpeculativeObservability: backup attempts are visible only
+// outside Stats — as speculative_attempts trace counters on the phase
+// and job spans, per-attempt spans flagged speculative/discarded, and
+// the mapreduce_speculative_attempts_total metric.
+func TestSpeculativeObservability(t *testing.T) {
+	input := specInput()
+	tr := trace.New()
+	reg := metrics.NewRegistry()
+	cfg := Config{Name: "specobs", NumReducers: 3, NumMappers: 2, Parallelism: 2,
+		Speculative:    true,
+		SlowTask:       func(_ string, task int) bool { return task == 0 },
+		StragglerDelay: time.Millisecond,
+		Tracer:         tr, Metrics: reg}
+	if _, _, err := combineWordCountJob(cfg).Run(input); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	var jobSpec, phaseSpec int64
+	var attemptSpans, discarded int64
+	for _, s := range spans {
+		switch s.Kind {
+		case trace.KindJob:
+			jobSpec += s.Counter("speculative_attempts")
+		case trace.KindPhase:
+			phaseSpec += s.Counter("speculative_attempts")
+		case trace.KindTask:
+			attemptSpans += s.Counter("speculative")
+			discarded += s.Counter("discarded")
+		}
+	}
+	// SlowTask marks map task 0 and reduce task 0; reduce 0 may hold no
+	// keys, so at least the map backup must exist.
+	if jobSpec < 1 {
+		t.Errorf("job span speculative_attempts = %d, want >= 1", jobSpec)
+	}
+	if phaseSpec != jobSpec {
+		t.Errorf("phase spans speculative_attempts sum = %d, job span says %d", phaseSpec, jobSpec)
+	}
+	if attemptSpans != jobSpec {
+		t.Errorf("speculative attempt spans = %d, counters say %d", attemptSpans, jobSpec)
+	}
+	// Every race has exactly one discarded attempt (winner kept).
+	if discarded != jobSpec {
+		t.Errorf("discarded attempt spans = %d, want %d", discarded, jobSpec)
+	}
+	if got := reg.Counter("mapreduce_speculative_attempts_total").Value(); got != jobSpec {
+		t.Errorf("metric speculative_attempts_total = %d, trace says %d", got, jobSpec)
+	}
+}

@@ -57,26 +57,23 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 		}}, nil
 	}
 
-	// Current partial tuples over plan.order[:p], starting with the
-	// first slot's items as 1-member partials.
-	firstItems, err := exec.loadRelation(pl.order[0])
-	if err != nil {
-		return nil, err
-	}
-	current := make([]partial, len(firstItems))
-	for i, it := range firstItems {
-		current[i] = partial{IDs: []int32{it.ID}, Rects: []geom.Rect{it.Rect}}
-	}
-
+	// The cascade is a checkpointed chain: step p-1 of the chain runs
+	// round p's 2-way join and commits the resulting partial tuples to
+	// the DFS (the materialisation §6.4 blames); the next step reads
+	// them back as its input. A run killed by Config.FailJob leaves the
+	// completed checkpoints behind, and a Resume run on the same FS
+	// skips every completed round, reusing its recorded Stats.
+	ch := exec.chain("cascade")
 	var rounds []*mapreduce.Stats
 	var counted atomic.Int64
 	for p := 1; p < pl.m; p++ {
 		newSlot := pl.order[p]
-		// One round span per cascade step: the 2-way join job plus the
-		// staging of its intermediate on the DFS (the cost §6.4 blames).
+		// One round span per cascade step: the 2-way join job plus its
+		// checkpoint traffic (the previous checkpoint's read-back lands
+		// in this step's round; its own output write is charged here).
 		roundSpan := exec.beginRound(fmt.Sprintf("step-%d-%s", p, pl.q.Slots()[newSlot]))
 		// On the final step with CountOnly, tuples are counted at the
-		// reducers instead of materialised and staged.
+		// reducers instead of materialised and checkpointed.
 		discard := countOnly && p == pl.m-1
 		edges := pl.edgesToPrev[p]
 		primary := edges[pl.primary[p]]
@@ -85,81 +82,130 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 		keyPos := planPos(pl, primary.Other(newSlot))
 		d := primary.Pred.Weight()
 
-		items, err := exec.loadRelation(newSlot)
-		if err != nil {
-			return nil, err
-		}
-		// Sort each relation by sweep order once per round: the engine's
-		// shuffle preserves input order within a key, so every cell's
-		// tuples and items arrive at the reducer already ascending by
-		// MinX and the plane sweep needs no per-cell re-sort
-		// (sweep.JoinSorted). Stable sorts keep equal-MinX records in
-		// input order, which makes the per-cell order identical to what
-		// sweep.Join's (MinX, arrival index) sort produced — emitted
-		// pairs, and therefore all stats, are unchanged.
-		slices.SortStableFunc(current, func(a, b partial) int {
-			return cmp.Compare(a.Rects[keyPos].MinX(), b.Rects[keyPos].MinX())
-		})
-		slices.SortStableFunc(items, func(a, b tagged) int {
-			return cmp.Compare(a.Rect.MinX(), b.Rect.MinX())
-		})
-		input := make([]cascadeRecord, 0, len(current)+len(items))
-		for _, t := range current {
-			input = append(input, cascadeRecord{isTuple: true, tuple: t})
-		}
-		for _, it := range items {
-			input = append(input, cascadeRecord{item: it})
+		runStep := func(in [][]byte) ([]partial, *mapreduce.Stats, error) {
+			// Current partial tuples over plan.order[:p]: decoded from
+			// the previous step's checkpoint, or — on the first step,
+			// which has no predecessor — the first slot's items as
+			// 1-member partials. All input loading happens inside the
+			// step closure so a resumed run charges none of it.
+			var current []partial
+			if p == 1 {
+				firstItems, err := exec.loadRelation(pl.order[0])
+				if err != nil {
+					return nil, nil, err
+				}
+				current = make([]partial, len(firstItems))
+				for i, it := range firstItems {
+					current[i] = partial{IDs: []int32{it.ID}, Rects: []geom.Rect{it.Rect}}
+				}
+			} else {
+				current = make([]partial, 0, len(in))
+				for _, rec := range in {
+					t, err := decodePartial(rec)
+					if err != nil {
+						return nil, nil, err
+					}
+					current = append(current, t)
+				}
+			}
+			items, err := exec.loadRelation(newSlot)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Sort each relation by sweep order once per round: the
+			// engine's shuffle preserves input order within a key, so
+			// every cell's tuples and items arrive at the reducer already
+			// ascending by MinX and the plane sweep needs no per-cell
+			// re-sort (sweep.JoinSorted). Stable sorts keep equal-MinX
+			// records in input order, which makes the per-cell order
+			// identical to what sweep.Join's (MinX, arrival index) sort
+			// produced — emitted pairs, and therefore all stats, are
+			// unchanged.
+			slices.SortStableFunc(current, func(a, b partial) int {
+				return cmp.Compare(a.Rects[keyPos].MinX(), b.Rects[keyPos].MinX())
+			})
+			slices.SortStableFunc(items, func(a, b tagged) int {
+				return cmp.Compare(a.Rect.MinX(), b.Rect.MinX())
+			})
+			input := make([]cascadeRecord, 0, len(current)+len(items))
+			for _, t := range current {
+				input = append(input, cascadeRecord{isTuple: true, tuple: t})
+			}
+			for _, it := range items {
+				input = append(input, cascadeRecord{item: it})
+			}
+
+			job := &mapreduce.Job[cascadeRecord, grid.CellID, cascadeRecord, partial]{
+				Config: exec.jobConfig(fmt.Sprintf("cascade-%d-%s", p, pl.q.Slots()[newSlot])),
+				Map: func(rec cascadeRecord, emit func(grid.CellID, cascadeRecord)) error {
+					if rec.isTuple {
+						key := rec.tuple.Rects[keyPos]
+						if d > 0 {
+							key = key.Enlarge(d)
+						}
+						exec.part.ForEachSplit(key, func(c grid.CellID) { emit(c, rec) })
+					} else {
+						exec.part.ForEachSplit(rec.item.Rect, func(c grid.CellID) { emit(c, rec) })
+					}
+					return nil
+				},
+				Partition: mapreduce.IdentityPartition[grid.CellID],
+				Reduce:    cascadeReduce(pl, exec.part, newSlot, keyPos, edges, primary, discard, &counted, exec.cfg.Metrics),
+				PairBytes: func(_ grid.CellID, rec cascadeRecord) int {
+					if rec.isTuple {
+						return 4 + encodedPartialBytes(len(rec.tuple.IDs))
+					}
+					return 4 + itemRecordBytes
+				},
+			}
+			return job.Run(input)
 		}
 
-		job := &mapreduce.Job[cascadeRecord, grid.CellID, cascadeRecord, partial]{
-			Config: exec.jobConfig(fmt.Sprintf("cascade-%d-%s", p, pl.q.Slots()[newSlot])),
-			Map: func(rec cascadeRecord, emit func(grid.CellID, cascadeRecord)) error {
-				if rec.isTuple {
-					key := rec.tuple.Rects[keyPos]
-					if d > 0 {
-						key = key.Enlarge(d)
-					}
-					exec.part.ForEachSplit(key, func(c grid.CellID) { emit(c, rec) })
-				} else {
-					exec.part.ForEachSplit(rec.item.Rect, func(c grid.CellID) { emit(c, rec) })
+		stepName := fmt.Sprintf("step-%d-%s", p, pl.q.Slots()[newSlot])
+		var st *mapreduce.Stats
+		var err error
+		if discard {
+			// Counted output is consumed in place; a FinalStep commits
+			// nothing and therefore re-runs on every resume.
+			st, err = ch.FinalStep(stepName, func(in [][]byte) (*mapreduce.Stats, error) {
+				_, st, err := runStep(in)
+				return st, err
+			})
+		} else {
+			st, err = ch.Step(stepName, func(in [][]byte) ([][]byte, *mapreduce.Stats, error) {
+				out, st, err := runStep(in)
+				if err != nil {
+					return nil, nil, err
 				}
-				return nil
-			},
-			Partition: mapreduce.IdentityPartition[grid.CellID],
-			Reduce:    cascadeReduce(pl, exec.part, newSlot, keyPos, edges, primary, discard, &counted, exec.cfg.Metrics),
-			PairBytes: func(_ grid.CellID, rec cascadeRecord) int {
-				if rec.isTuple {
-					return 4 + encodedPartialBytes(len(rec.tuple.IDs))
+				recs := make([][]byte, len(out))
+				for i, t := range out {
+					recs[i] = encodePartial(t)
 				}
-				return 4 + itemRecordBytes
-			},
+				return recs, st, nil
+			})
 		}
-		out, st, err := job.Run(input)
 		if err != nil {
 			return nil, err
 		}
 		rounds = append(rounds, st)
-
-		if discard {
-			current = nil
-			exec.endRound(roundSpan)
-			continue
-		}
-		// Materialise the intermediate (or final) result on the DFS
-		// and read it back for the next step — the cascade's defining
-		// cost.
-		current, err = exec.stagePartials(fmt.Sprintf("tmp/cascade-step-%d", p), out)
-		if err != nil {
-			return nil, err
-		}
 		exec.endRound(roundSpan)
 	}
 
-	// Convert plan-ordered partials to slot-ordered tuples.
+	// Convert plan-ordered partials to slot-ordered tuples, reading the
+	// final checkpoint back from the DFS — the read a consumer of the
+	// cascade's materialised result pays.
 	var tuples []Tuple
 	if !countOnly {
-		tuples = make([]Tuple, len(current))
-		for i, t := range current {
+		recs, err := ch.Output()
+		if err != nil {
+			return nil, err
+		}
+		tuples = make([]Tuple, len(recs))
+		for i, rec := range recs {
+			t, err := decodePartial(rec)
+			if err != nil {
+				return nil, err
+			}
 			ids := make([]int32, pl.m)
 			for pos, slot := range pl.order {
 				ids[slot] = t.IDs[pos]
@@ -168,9 +214,11 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 		}
 		counted.Store(int64(len(tuples)))
 	}
+	cs := ch.Stats()
 	return &Result{Tuples: tuples, Stats: Stats{
 		Method:       Cascade,
 		Rounds:       rounds,
+		Chain:        &cs,
 		OutputTuples: counted.Load(),
 		Wall:         time.Since(start),
 	}}, nil

@@ -15,41 +15,56 @@ import (
 // its 4th quadrant (replication function f1), and each reducer computes
 // the multi-way join on what it received, de-duplicated with the §6.2
 // point rule.
+//
+// The single job runs as a one-step chain so Config.FailJob addresses
+// it uniformly with the multi-job methods (job index 0); with nothing
+// checkpointed before it, a resume is a full re-run.
 func allReplicate(pl *plan, exec *executor) (*Result, error) {
 	start := time.Now()
-	input, err := exec.loadAllRelations()
-	if err != nil {
-		return nil, err
-	}
 
+	ch := exec.chain("all-replicate")
 	roundSpan := exec.beginRound("join")
-	var replicated, afterReplication, counted atomic.Int64
-	job := &mapreduce.Job[tagged, grid.CellID, tagged, Tuple]{
-		Config: exec.jobConfig("all-replicate"),
-		Map: func(it tagged, emit func(grid.CellID, tagged)) error {
-			replicated.Add(1)
-			exec.part.ForEachFourthQuadrant(it.Rect, func(c grid.CellID) {
-				afterReplication.Add(1)
-				emit(c, it)
-			})
-			return nil
-		},
-		Partition: mapreduce.IdentityPartition[grid.CellID],
-		Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
-		PairBytes: taggedPairBytes,
-	}
-	tuples, st, err := job.Run(input)
+	var counted atomic.Int64
+	var tuples []Tuple
+	var inputCount int64
+	st, err := ch.FinalStep("join", func(_ [][]byte) (*mapreduce.Stats, error) {
+		input, err := exec.loadAllRelations()
+		if err != nil {
+			return nil, err
+		}
+		inputCount = int64(len(input))
+		job := &mapreduce.Job[tagged, grid.CellID, tagged, Tuple]{
+			Config: exec.jobConfig("all-replicate"),
+			Map: func(it tagged, emit func(grid.CellID, tagged)) error {
+				exec.part.ForEachFourthQuadrant(it.Rect, func(c grid.CellID) { emit(c, it) })
+				return nil
+			},
+			Partition: mapreduce.IdentityPartition[grid.CellID],
+			Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
+			PairBytes: taggedPairBytes,
+		}
+		out, st, err := job.Run(input)
+		tuples = out
+		return st, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	exec.endRound(roundSpan)
+	cs := ch.Stats()
 	res := &Result{Tuples: tuples}
 	res.Stats = Stats{
-		Method:                     AllReplicate,
-		Rounds:                     []*mapreduce.Stats{st},
-		RectanglesReplicated:       replicated.Load(),
-		RectanglesAfterReplication: afterReplication.Load(),
-		ReplicationCopies:          afterReplication.Load(),
+		Method: AllReplicate,
+		Rounds: []*mapreduce.Stats{st},
+		Chain:  &cs,
+		// Every input rectangle is replicated, and every emitted pair is
+		// one copy: both counters derive from exactly-once quantities
+		// (input size, committed IntermediatePairs) instead of atomics
+		// bumped inside the Map closure, which over-count when retried
+		// or speculative attempts re-run the mapper.
+		RectanglesReplicated:       inputCount,
+		RectanglesAfterReplication: st.IntermediatePairs,
+		ReplicationCopies:          st.IntermediatePairs,
 		OutputTuples:               outputCount(exec.cfg.CountOnly, &counted, len(tuples)),
 		Wall:                       time.Since(start),
 	}
@@ -73,12 +88,14 @@ func outputCount(countOnly bool, counted *atomic.Int64, materialised int) int64 
 // conditions C1–C4; round two replicates only the marked rectangles
 // (f1, or f2 bounded by the per-relation radius for C-Rep-L), projects
 // the rest, and joins.
+//
+// The two rounds run as a chain: the mark round's output is
+// checkpointed on the DFS (the small read/write cost C-Rep pays that
+// §7.1 contrasts with Cascade's) and the join round reads it back. A
+// run killed between the rounds resumes by re-reading the mark
+// checkpoint only.
 func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) {
 	start := time.Now()
-	input, err := exec.loadAllRelations()
-	if err != nil {
-		return nil, err
-	}
 
 	method := ControlledReplicate
 	var bounds []float64
@@ -88,49 +105,58 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 		for s, rel := range exec.rels {
 			dmax[s] = rel.MaxDiagonal()
 		}
+		var err error
 		bounds, err = pl.q.ReplicationBounds(dmax)
 		if err != nil {
 			return nil, err
 		}
 	}
 
+	ch := exec.chain(method.String())
+
 	// ---- round one: split everything, decide replication ----
 	markSpan := exec.beginRound("mark")
-	round1 := &mapreduce.Job[tagged, grid.CellID, tagged, tagged]{
-		Config: exec.jobConfig(fmt.Sprintf("%s-mark", method)),
-		Map: func(it tagged, emit func(grid.CellID, tagged)) error {
-			exec.part.ForEachSplit(it.Rect, func(c grid.CellID) { emit(c, it) })
-			return nil
-		},
-		Partition: mapreduce.IdentityPartition[grid.CellID],
-		Combine:   dedupSplitRun,
-		Reduce: func(c grid.CellID, items []tagged, emit func(tagged)) error {
-			cd := newCellData(pl.m, items)
-			marked := markCell(pl, exec.part, c, cd)
-			// Output each rectangle from its start cell only, so every
-			// rectangle enters round two exactly once.
-			for s := 0; s < pl.m; s++ {
-				for j, id := range cd.ids[s] {
-					r := cd.rects[s][j]
-					if exec.part.Project(r) != c {
-						continue
+	st1, err := ch.Step("mark", func(_ [][]byte) ([][]byte, *mapreduce.Stats, error) {
+		input, err := exec.loadAllRelations()
+		if err != nil {
+			return nil, nil, err
+		}
+		round1 := &mapreduce.Job[tagged, grid.CellID, tagged, tagged]{
+			Config: exec.jobConfig(fmt.Sprintf("%s-mark", method)),
+			Map: func(it tagged, emit func(grid.CellID, tagged)) error {
+				exec.part.ForEachSplit(it.Rect, func(c grid.CellID) { emit(c, it) })
+				return nil
+			},
+			Partition: mapreduce.IdentityPartition[grid.CellID],
+			Combine:   dedupSplitRun,
+			Reduce: func(c grid.CellID, items []tagged, emit func(tagged)) error {
+				cd := newCellData(pl.m, items)
+				marked := markCell(pl, exec.part, c, cd)
+				// Output each rectangle from its start cell only, so every
+				// rectangle enters round two exactly once.
+				for s := 0; s < pl.m; s++ {
+					for j, id := range cd.ids[s] {
+						r := cd.rects[s][j]
+						if exec.part.Project(r) != c {
+							continue
+						}
+						emit(tagged{Slot: int8(s), ID: id, Rect: r, Marked: marked[s][j]})
 					}
-					emit(tagged{Slot: int8(s), ID: id, Rect: r, Marked: marked[s][j]})
 				}
-			}
-			return nil
-		},
-		PairBytes: taggedPairBytes,
-	}
-	markedItems, st1, err := round1.Run(input)
-	if err != nil {
-		return nil, err
-	}
-
-	// Materialise the round-one output on the DFS and read it back, as
-	// a chained Hadoop job would (this is the small read/write cost
-	// C-Rep pays that §7.1 contrasts with Cascade's).
-	staged, err := exec.stageTagged(fmt.Sprintf("tmp/%s-marked", method), markedItems)
+				return nil
+			},
+			PairBytes: taggedPairBytes,
+		}
+		out, st, err := round1.Run(input)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs := make([][]byte, len(out))
+		for i, it := range out {
+			recs[i] = encodeItem(it)
+		}
+		return recs, st, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -138,41 +164,62 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 
 	// ---- round two: replicate marked, project the rest, join ----
 	joinSpan := exec.beginRound("join")
-	var replicated, afterReplication, counted atomic.Int64
-	round2 := &mapreduce.Job[tagged, grid.CellID, tagged, Tuple]{
-		Config: exec.jobConfig(fmt.Sprintf("%s-join", method)),
-		Map: func(it tagged, emit func(grid.CellID, tagged)) error {
-			if !it.Marked {
-				emit(exec.part.Project(it.Rect), it)
-				return nil
+	var counted atomic.Int64
+	var tuples []Tuple
+	var markedCount, unmarkedCount int64
+	st2, err := ch.FinalStep("join", func(in [][]byte) (*mapreduce.Stats, error) {
+		staged := make([]tagged, 0, len(in))
+		for _, rec := range in {
+			it, err := decodeItem(rec)
+			if err != nil {
+				return nil, err
 			}
-			replicated.Add(1)
-			send := func(c grid.CellID) {
-				afterReplication.Add(1)
-				emit(c, it)
-			}
-			if limit {
-				exec.part.ForEachReplicateF2(it.Rect, bounds[it.Slot], exec.metric, send)
+			if it.Marked {
+				markedCount++
 			} else {
-				exec.part.ForEachFourthQuadrant(it.Rect, send)
+				unmarkedCount++
 			}
-			return nil
-		},
-		Partition: mapreduce.IdentityPartition[grid.CellID],
-		Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
-		PairBytes: taggedPairBytes,
-	}
-	tuples, st2, err := round2.Run(staged)
+			staged = append(staged, it)
+		}
+		round2 := &mapreduce.Job[tagged, grid.CellID, tagged, Tuple]{
+			Config: exec.jobConfig(fmt.Sprintf("%s-join", method)),
+			Map: func(it tagged, emit func(grid.CellID, tagged)) error {
+				if !it.Marked {
+					emit(exec.part.Project(it.Rect), it)
+					return nil
+				}
+				if limit {
+					exec.part.ForEachReplicateF2(it.Rect, bounds[it.Slot], exec.metric, func(c grid.CellID) { emit(c, it) })
+				} else {
+					exec.part.ForEachFourthQuadrant(it.Rect, func(c grid.CellID) { emit(c, it) })
+				}
+				return nil
+			},
+			Partition: mapreduce.IdentityPartition[grid.CellID],
+			Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
+			PairBytes: taggedPairBytes,
+		}
+		out, st, err := round2.Run(staged)
+		tuples = out
+		return st, err
+	})
 	if err != nil {
 		return nil, err
 	}
 	exec.endRound(joinSpan)
 
+	cs := ch.Stats()
 	res := &Result{Tuples: tuples}
 	res.Stats = Stats{
-		Method:               method,
-		Rounds:               []*mapreduce.Stats{st1, st2},
-		RectanglesReplicated: replicated.Load(),
+		Method: method,
+		Rounds: []*mapreduce.Stats{st1, st2},
+		Chain:  &cs,
+		// Both replication counters derive from exactly-once quantities
+		// — the checkpointed mark-round output and the join job's
+		// committed IntermediatePairs — rather than atomics bumped in
+		// the Map closure, which over-count when retried or speculative
+		// attempts re-run the mapper.
+		RectanglesReplicated: markedCount,
 		// The paper's parenthesised §7.8.3 metric counts every
 		// rectangle copy communicated to the join round's reducers —
 		// projections of unmarked rectangles included (the published
@@ -180,9 +227,12 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 		// nI=1 reports 3.9M for 3M input rectangles of which 0.05M
 		// were marked).
 		RectanglesAfterReplication: st2.IntermediatePairs,
-		ReplicationCopies:          afterReplication.Load(),
-		OutputTuples:               outputCount(exec.cfg.CountOnly, &counted, len(tuples)),
-		Wall:                       time.Since(start),
+		// The stricter breakdown excludes projections: each unmarked
+		// rectangle contributes exactly one projection pair, so the
+		// replicate-produced copies are the remainder.
+		ReplicationCopies: st2.IntermediatePairs - unmarkedCount,
+		OutputTuples:      outputCount(exec.cfg.CountOnly, &counted, len(tuples)),
+		Wall:              time.Since(start),
 	}
 	return res, nil
 }

@@ -44,6 +44,22 @@ type Config struct {
 	MaxAttempts int
 	FailMap     func(mapper, attempt int) bool
 	FailReduce  func(reducer, attempt int) bool
+	// FailJob, when non-nil, is the chain-level kill switch: each
+	// method's job sequence runs as a mapreduce.Chain, and FailJob(i)
+	// == true kills the run with a *mapreduce.ChainKilledError before
+	// job i, leaving the checkpoints of jobs 0..i-1 on FS.
+	FailJob func(jobIndex int) bool
+	// Resume continues a killed chain on the same FS: jobs whose
+	// checkpoint is complete are skipped (their recorded Stats are
+	// reused), and only the checkpoint re-read cost is charged.
+	Resume bool
+	// Speculative enables engine-level speculative execution for every
+	// job; SlowTask passes the deterministic straggler hook through
+	// (see mapreduce.Config). Ignored under CountOnly: the in-reducer
+	// tuple tally would double-count raced attempts, so count-only
+	// runs stay non-speculative.
+	Speculative bool
+	SlowTask    func(phase string, task int) bool
 	// Tracer, when non-nil, receives the execution's span tree: a run
 	// span over the whole call, one round span per algorithm step
 	// (cascade steps, C-Rep's mark/join rounds) covering the step's
@@ -248,10 +264,28 @@ func (e *executor) jobConfig(name string) mapreduce.Config {
 		MaxAttempts: e.cfg.MaxAttempts,
 		FailMap:     e.cfg.FailMap,
 		FailReduce:  e.cfg.FailReduce,
+		SlowTask:    e.cfg.SlowTask,
+		Speculative: e.cfg.Speculative && !e.cfg.CountOnly,
 		Tracer:      e.tr,
 		TraceParent: e.cur,
 		Metrics:     e.cfg.Metrics,
 	}
+}
+
+// chain builds the method's job chain over the execution's FS:
+// checkpoints land under "chk/<name>", kill/resume follow the Config
+// knobs, and the chain's recovery counters flow into the run span and
+// the registry.
+func (e *executor) chain(name string) *mapreduce.Chain {
+	return mapreduce.NewChain(mapreduce.ChainConfig{
+		Name:        name,
+		FS:          e.fs,
+		Resume:      e.cfg.Resume,
+		FailJob:     e.cfg.FailJob,
+		Tracer:      e.tr,
+		TraceParent: e.runSpan,
+		Metrics:     e.cfg.Metrics,
+	})
 }
 
 // inputFile names the staged DFS file of a relation.
@@ -319,55 +353,6 @@ func (e *executor) loadAllRelations() ([]tagged, error) {
 			return nil, err
 		}
 		out = append(out, items...)
-	}
-	return out, nil
-}
-
-// stageTagged writes tagged items to a DFS file and reads them back —
-// the materialisation boundary between chained jobs.
-func (e *executor) stageTagged(name string, items []tagged) ([]tagged, error) {
-	w := e.fs.Create(name)
-	for _, it := range items {
-		w.Append(encodeItem(it))
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	out := make([]tagged, 0, len(items))
-	err := e.fs.Scan(name, func(rec []byte) error {
-		it, err := decodeItem(rec)
-		if err != nil {
-			return err
-		}
-		out = append(out, it)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// stagePartials is stageTagged for cascade intermediates.
-func (e *executor) stagePartials(name string, ps []partial) ([]partial, error) {
-	w := e.fs.Create(name)
-	for _, p := range ps {
-		w.Append(encodePartial(p))
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	out := make([]partial, 0, len(ps))
-	err := e.fs.Scan(name, func(rec []byte) error {
-		p, err := decodePartial(rec)
-		if err != nil {
-			return err
-		}
-		out = append(out, p)
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return out, nil
 }

@@ -174,6 +174,10 @@ type Stats struct {
 	// DFS is the delta of file-system counters caused by this
 	// execution (intermediate materialisation for Cascade and C-Rep).
 	DFS dfs.Stats
+	// Chain reports the job chain's recovery accounting: jobs run vs.
+	// resumed from checkpoints, and checkpoint bytes written/read. Nil
+	// for methods that run no chain (BruteForce).
+	Chain *mapreduce.ChainStats
 	// OutputTuples is the number of result tuples.
 	OutputTuples int64
 	// Wall is the end-to-end execution time, the paper's "time taken".

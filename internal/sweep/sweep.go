@@ -53,15 +53,19 @@ func JoinSorted(as, bs []geom.Rect, d float64, fn func(i, j int) bool) {
 		a := as[i]
 		aMin, aMax := a.MinX(), a.MaxX()
 		// Permanently discard leading b's that ended left of the sweep
-		// front: future a's have MinX ≥ aMin, so such b's can never
-		// come within d on the x axis again. Dead b's further inside
-		// the window are filtered by the match test instead.
-		for start < len(bs) && bs[start].MaxX() < aMin-d {
+		// front: future a's have MinX ≥ aMin (and float subtraction is
+		// monotone), so such b's can never come within d on the x axis
+		// again. Dead b's further inside the window are filtered by the
+		// match test instead. The gap is computed as aMin−b.MaxX(),
+		// exactly the arithmetic of the axis-gap test inside match:
+		// comparing against a precomputed aMin−d instead loses pairs
+		// when that subtraction rounds the other way than the gap's.
+		for start < len(bs) && aMin-bs[start].MaxX() > d {
 			start++
 		}
 		for k := start; k < len(bs); k++ {
 			b := bs[k]
-			if b.MinX() > aMax+d {
+			if b.MinX()-aMax > d {
 				break // all later b's start even further right
 			}
 			if match(a, b, d) {
@@ -86,7 +90,8 @@ func JoinSelf(rs []geom.Rect, d float64, fn func(i, j int) bool) {
 		for q := p + 1; q < len(order); q++ {
 			j := order[q]
 			b := rs[j]
-			if b.MinX() > aMax+d {
+			// Same gap arithmetic as the match test; see JoinSorted.
+			if b.MinX()-aMax > d {
 				break
 			}
 			if match(a, b, d) {

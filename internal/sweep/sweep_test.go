@@ -247,6 +247,72 @@ func TestJoinSortedEarlyStop(t *testing.T) {
 	}
 }
 
+// TestJoinWindowFloatConsistency pins the sweep window to the exact
+// axis-gap arithmetic of the match predicate. The old window compared
+// against precomputed aMin−d / aMax+d bounds; when those subtractions
+// round the other way than the gap aMin−b.MaxX(), the window discards
+// (or breaks before) b's the predicate accepts, silently losing pairs.
+// Mixed-magnitude coordinates make the rounding disagreement common.
+func TestJoinWindowFloatConsistency(t *testing.T) {
+	// A regression instance found by the randomized sweep below: with
+	// a.MinX = 1e16+2 and d = 1e16, fl(aMin−d) = 2 discards every b
+	// ending in (1.3, 2), yet the true gaps are ≤ d.
+	as := []geom.Rect{{X: 1.0000000000000002e16, Y: 1, L: 0, B: 1}}
+	bs := []geom.Rect{{X: 0.3, Y: 1, L: 0.7, B: 1}, {X: 1.0000000000000002, Y: 1, L: 0.3, B: 1}}
+	d := 1e16
+	want := bruteJoin(as, bs, d)
+	if got := sweepPairs(as, bs, d); !equalPairs(got, want) {
+		t.Fatalf("regression instance: got %d pairs, want %d", len(got), len(want))
+	}
+
+	// Randomized adversarial coordinates: exact cuts, halfway-rounding
+	// sums, huge magnitudes, and degenerate (zero-extent) rectangles.
+	vals := []float64{0, 0.1, 0.2, 0.3, 0.7, 1e-9, 1, 1.0000000000000002,
+		0.1 + 0.2, 3, 4, 1e16, 1e16 + 2}
+	rng := rand.New(rand.NewPCG(7, 77))
+	pick := func() float64 { return vals[rng.IntN(len(vals))] }
+	for trial := 0; trial < 5000; trial++ {
+		mk := func(n int) []geom.Rect {
+			rs := make([]geom.Rect, n)
+			for i := range rs {
+				l := pick()
+				if l > 10 {
+					l = 0 // keep huge values as positions, not extents
+				}
+				rs[i] = geom.Rect{X: pick(), Y: 1, L: l, B: 1}
+			}
+			return rs
+		}
+		as, bs := mk(1+rng.IntN(4)), mk(1+rng.IntN(4))
+		d := pick()
+		want := bruteJoin(as, bs, d)
+		if got := sweepPairs(as, bs, d); !equalPairs(got, want) {
+			t.Fatalf("trial %d: as=%v bs=%v d=%v: got %d pairs, want %d",
+				trial, as, bs, d, len(got), len(want))
+		}
+		// JoinSelf shares the break condition.
+		rs := mk(2 + rng.IntN(4))
+		wantSelf := map[[2]int]bool{}
+		for i := 0; i < len(rs); i++ {
+			for j := i + 1; j < len(rs); j++ {
+				ok := rs[i].Overlaps(rs[j])
+				if d > 0 {
+					ok = rs[i].WithinDist(rs[j], d)
+				}
+				if ok {
+					wantSelf[[2]int{i, j}] = true
+				}
+			}
+		}
+		gotSelf := map[[2]int]bool{}
+		JoinSelf(rs, d, func(i, j int) bool { gotSelf[[2]int{i, j}] = true; return true })
+		if !equalPairs(gotSelf, wantSelf) {
+			t.Fatalf("trial %d: JoinSelf rs=%v d=%v: got %d pairs, want %d",
+				trial, rs, d, len(gotSelf), len(wantSelf))
+		}
+	}
+}
+
 // BenchmarkJoinSorted5k is the regression benchmark for the cascade
 // pre-sort: the same workload as BenchmarkJoin5k minus the per-call
 // index sorts.

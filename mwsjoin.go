@@ -33,9 +33,11 @@ package mwsjoin
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"mwsjoin/internal/dataset"
+	"mwsjoin/internal/dfs"
 	"mwsjoin/internal/geom"
 	"mwsjoin/internal/grid"
 	"mwsjoin/internal/mapreduce"
@@ -150,6 +152,29 @@ type Options struct {
 	MaxAttempts int
 	FailMap     func(mapper, attempt int) bool
 	FailReduce  func(reducer, attempt int) bool
+	// FS is the simulated distributed file system the run stages its
+	// inputs, intermediates and chain checkpoints on; a private one is
+	// created when nil. Provide one (see NewFileSystem) to resume a
+	// killed run: the FS holds the checkpoints Resume needs.
+	FS *FileSystem
+	// FailJob, when non-nil, is the chain-level kill switch: each
+	// method's job sequence runs as a checkpointed chain, and
+	// FailJob(i) == true kills the run with a *ChainKilledError before
+	// job i, leaving the checkpoints of jobs 0..i-1 on FS.
+	FailJob func(jobIndex int) bool
+	// Resume continues a killed chain on the same FS: jobs whose
+	// checkpoint is complete are skipped (their recorded Stats are
+	// reused) and only the checkpoint re-read cost is charged. The
+	// final output is bit-identical to an unkilled run's.
+	Resume bool
+	// Speculative enables Hadoop-style speculative execution inside
+	// every job: straggler task attempts race a backup attempt and the
+	// first finisher wins. Results and Stats are identical with and
+	// without it; SlowTask optionally marks the stragglers
+	// deterministically (phase is "map" or "reduce"). Ignored under
+	// CountOnly.
+	Speculative bool
+	SlowTask    func(phase string, task int) bool
 	// Tracer, when non-nil, records the execution as a hierarchy of
 	// timed spans with counters (run → round → job → phase → task); see
 	// NewTracer. The same tracer may collect several sequential runs.
@@ -213,6 +238,32 @@ func ServeMetrics(addr string, reg *MetricsRegistry) (bound string, shutdown fun
 	return metrics.ListenAndServe(addr, reg, nil)
 }
 
+// FileSystem is the simulated distributed file system executions stage
+// their inputs, intermediates and chain checkpoints on. Pass one via
+// Options.FS to keep checkpoints across runs (kill → resume), and
+// persist it across processes with WriteSnapshot /
+// ReadFileSystemSnapshot.
+type FileSystem = dfs.FS
+
+// NewFileSystem creates an empty simulated file system with the default
+// block size.
+func NewFileSystem() *FileSystem { return dfs.New(0) }
+
+// ReadFileSystemSnapshot restores a file system previously saved with
+// (*FileSystem).WriteSnapshot — the persistence path for resuming a
+// killed run from a different process.
+func ReadFileSystemSnapshot(r io.Reader) (*FileSystem, error) { return dfs.ReadSnapshot(r, 0) }
+
+// ChainStats is the per-run recovery accounting exposed as Stats.Chain:
+// jobs run versus resumed from checkpoints, and checkpoint bytes
+// written/read.
+type ChainStats = mapreduce.ChainStats
+
+// ChainKilledError is returned by Run when Options.FailJob kills the
+// job chain; the completed checkpoints remain on Options.FS, so the
+// same call with Options.Resume finishes the run.
+type ChainKilledError = mapreduce.ChainKilledError
+
 // Prediction is the EXPLAIN-mode cost estimate of Predict.
 type Prediction = spatial.Prediction
 
@@ -255,6 +306,11 @@ func buildConfig(rels []Relation, opts *Options) (spatial.Config, error) {
 		MaxAttempts:    o.MaxAttempts,
 		FailMap:        o.FailMap,
 		FailReduce:     o.FailReduce,
+		FS:             o.FS,
+		FailJob:        o.FailJob,
+		Resume:         o.Resume,
+		Speculative:    o.Speculative,
+		SlowTask:       o.SlowTask,
 		Tracer:         o.Tracer,
 		Metrics:        o.Metrics,
 		OptimizeOrder:  o.OptimizeOrder,

@@ -30,8 +30,22 @@ go test -race ./...
 echo "== serve smoke (scraped /metrics counters == final Stats) =="
 go test -run 'TestServeSmoke' -count=1 ./cmd/mwsjoin
 
+echo "== chain recovery + speculative equivalence under -race (pinned seeds) =="
+# Deterministic by construction (seeded rand.NewPCG workloads, kill
+# points at every job boundary); -count=1 defeats the test cache so the
+# race detector actually re-exercises the speculative backup goroutines.
+go test -race -count=1 \
+    -run 'TestChainKillResumeEveryBoundary|TestSpeculativeEquivalence|TestSpeculativeWithRetries|TestFaultInjectionStatsBitEqual' \
+    ./internal/mapreduce
+go test -race -count=1 \
+    -run 'TestKillResumeEveryJobBoundary|TestKillResumeRandomizedWorkload|TestSpeculativeSpatialEquivalence' \
+    ./internal/spatial
+
 echo "== fuzz (FuzzParseQuery, 5s) =="
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
+
+echo "== fuzz (FuzzKeyRanker, 5s) =="
+go test -run='^$' -fuzz=FuzzKeyRanker -fuzztime=5s ./internal/mapreduce
 
 echo "== shuffle pipeline bench smoke (1 iteration per benchmark) =="
 go test -run='^$' -bench . -benchtime=1x ./internal/mapreduce
