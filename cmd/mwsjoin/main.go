@@ -19,11 +19,17 @@
 // /debug/pprof/*). -explain skips the normal run and instead predicts
 // every map-reduce method's cost from samples, measures the actuals
 // with suppressed tuple output, and prints a predicted-vs-actual table
-// with relative errors.
+// with relative errors. -timeout bounds the run: the execution stops
+// cooperatively at its next job boundary and the command exits with
+// status 3, distinguishing a deadline from a failure (status 1).
+//
+// For a long-lived service answering many concurrent queries, see the
+// mwsjoind daemon.
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -89,6 +95,12 @@ func (r relFlags) Set(v string) error {
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mwsjoin:", err)
+		// A -timeout expiry is an operational outcome, not a query
+		// failure; give it a distinct exit status so scripts can tell
+		// "query is wrong" (1) from "query is too slow" (3).
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -113,6 +125,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		resume    = fs.Bool("resume", false, "resume a killed run from the -checkpoint snapshot; completed jobs are skipped and only the checkpoint re-read is charged")
 		chkPath   = fs.String("checkpoint", "", "host file holding the simulated file-system snapshot: written when -fail-job kills the run, read by -resume")
 		specul    = fs.Bool("speculative", false, "race backup attempts for straggler tasks (Hadoop speculative execution); results are unchanged")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit); the execution stops at its next job boundary and the command exits with status 3")
 	)
 	fs.Var(rels, "rel", "slot binding <slot>=<file>; repeat once per slot")
 	if err := fs.Parse(args); err != nil {
@@ -206,13 +219,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// The timeout rides on the engine's cooperative cancellation: the
+	// deadline is noticed at the next chain-job boundary or task
+	// attempt, the partial run charges no further accounting, and the
+	// returned error wraps context.DeadlineExceeded so main can exit
+	// with the dedicated timeout status.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res *mwsjoin.Result
 	if *explain {
-		if err := runExplain(q, bound, opts, stdout); err != nil {
+		if err := runExplain(ctx, q, bound, opts, stdout); err != nil {
 			return err
 		}
 	} else {
-		if res, err = mwsjoin.Run(q, bound, m, &opts); err != nil {
+		if res, err = mwsjoin.RunContext(ctx, q, bound, m, &opts); err != nil {
 			var killed *mwsjoin.ChainKilledError
 			if errors.As(err, &killed) && *chkPath != "" {
 				if serr := saveSnapshot(opts.FS, *chkPath); serr != nil {
@@ -305,7 +330,7 @@ var explainMethods = []mwsjoin.Method{
 // runExplain predicts each method's §7.8.3 cost figures from samples,
 // measures the actuals with CountOnly runs, and prints the
 // predicted-vs-actual table with relative errors.
-func runExplain(q *mwsjoin.Query, rels []mwsjoin.Relation, opts mwsjoin.Options, stdout io.Writer) error {
+func runExplain(ctx context.Context, q *mwsjoin.Query, rels []mwsjoin.Relation, opts mwsjoin.Options, stdout io.Writer) error {
 	w := bufio.NewWriter(stdout)
 	fmt.Fprintf(w, "%-14s %7s %42s %42s %42s\n", "", "", "intermediate pairs", "rect copies to join round", "output tuples")
 	fmt.Fprintf(w, "%-14s %7s %14s %14s %12s %14s %14s %12s %14s %14s %12s\n",
@@ -317,7 +342,7 @@ func runExplain(q *mwsjoin.Query, rels []mwsjoin.Relation, opts mwsjoin.Options,
 		}
 		o := opts
 		o.CountOnly = true
-		res, err := mwsjoin.Run(q, rels, m, &o)
+		res, err := mwsjoin.RunContext(ctx, q, rels, m, &o)
 		if err != nil {
 			return err
 		}

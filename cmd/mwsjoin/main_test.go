@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -110,5 +112,51 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &out, &errOut); err == nil {
 			t.Errorf("run(%v) unexpectedly succeeded", args)
 		}
+	}
+}
+
+// TestTimeoutFlag checks -timeout rides the cooperative cancellation:
+// an expired deadline aborts the run with an error classifiable as
+// context.DeadlineExceeded (exit status 3 in main), while ordinary
+// failures are not misclassified as timeouts.
+func TestTimeoutFlag(t *testing.T) {
+	r := writeRects(t, "r.csv", []mwsjoin.Rect{
+		{X: 0, Y: 10, L: 4, B: 4},
+		{X: 2, Y: 9, L: 4, B: 4},
+	})
+	base := []string{"-query", "A ov B", "-rel", "A=" + r, "-rel", "B=" + r, "-reducers", "4"}
+
+	var out, errOut strings.Builder
+	err := run(append(base, "-timeout", "1ns"), &out, &errOut)
+	if err == nil {
+		t.Fatal("run with an expired -timeout succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error %v is not classifiable as context.DeadlineExceeded", err)
+	}
+	if out.String() != "" {
+		t.Errorf("timed-out run printed tuples: %q", out.String())
+	}
+
+	// A generous timeout must not interfere with a successful run.
+	out.Reset()
+	errOut.Reset()
+	if err := run(append(base, "-timeout", "1m"), &out, &errOut); err != nil {
+		t.Fatalf("run with an ample -timeout: %v", err)
+	}
+	if strings.TrimSpace(out.String()) == "" {
+		t.Error("run with an ample -timeout produced no tuples")
+	}
+
+	// A plain failure (unknown method) is distinguishable from a timeout.
+	err = run([]string{"-query", "A ov B", "-rel", "A=" + r, "-rel", "B=" + r, "-method", "warp", "-timeout", "1m"}, &out, &errOut)
+	if err == nil || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("failure error %v misclassified", err)
+	}
+
+	// -explain honours the timeout too.
+	err = run(append(append([]string{}, base...), "-explain", "-timeout", "1ns"), &out, &errOut)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("-explain with an expired -timeout: %v", err)
 	}
 }

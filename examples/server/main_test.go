@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerExample runs the walkthrough on a small workload: the job
+// must complete over HTTP and the repeated submission must be a cache
+// hit that runs no new executions.
+func TestServerExample(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 300); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"service listening on",
+		"registered cities",
+		"registered forests",
+		"registered rivers",
+		"submitted j000001",
+		"done:",
+		"first page:",
+		"resubmitted: cached=true state=done (cache hits=1, new executions=0)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

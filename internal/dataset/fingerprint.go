@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"math"
+
+	"mwsjoin/internal/spatial"
+)
+
+// Fingerprint returns an order-independent content hash of a relation's
+// records: two relations fingerprint equal exactly when they hold the
+// same multiset of (ID, rectangle) records, regardless of slice order.
+// The relation's name is deliberately excluded — the fingerprint
+// identifies the data, and the multi-query join service uses it as the
+// dataset component of its result-cache key, so re-registering
+// identical data under any name still hits the cache while a
+// one-record change invalidates it.
+//
+// Each record is hashed independently through a strong 64-bit mixer and
+// the per-record hashes are folded with two independent commutative
+// reductions (sum and xor) plus the record count, then mixed once more.
+// Commutativity gives order independence; the double reduction makes
+// engineered collisions (two records trading deltas that cancel in one
+// reduction) vanishingly unlikely to cancel in both.
+func Fingerprint(rel spatial.Relation) uint64 {
+	var sum, xor uint64
+	for _, it := range rel.Items {
+		h := recordHash(it)
+		sum += h
+		xor ^= h
+	}
+	return mix64(mix64(sum+uint64(len(rel.Items))) ^ xor)
+}
+
+// recordHash hashes one (ID, rectangle) record. Coordinates hash by
+// their IEEE-754 bit patterns, so records are identical exactly when
+// they would serialise identically (note +0 and -0 differ).
+func recordHash(it spatial.Item) uint64 {
+	h := mix64(uint64(uint32(it.ID)) + 0x9e3779b97f4a7c15)
+	h = mix64(h ^ math.Float64bits(it.R.X))
+	h = mix64(h ^ math.Float64bits(it.R.Y))
+	h = mix64(h ^ math.Float64bits(it.R.L))
+	h = mix64(h ^ math.Float64bits(it.R.B))
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap bijective mixer with full
+// avalanche, so single-bit input changes flip about half the output.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

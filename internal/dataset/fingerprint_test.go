@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/spatial"
+)
+
+// TestFingerprintReloadStable writes a relation to a dataset file,
+// re-loads it twice, and checks both loads fingerprint identically —
+// the cache-key property the join service depends on.
+func TestFingerprintReloadStable(t *testing.T) {
+	rel, err := SyntheticRelation("r", PaperDefaults(500), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "r.csv")
+	rs := make([]geom.Rect, len(rel.Items))
+	for i, it := range rel.Items {
+		rs[i] = it.R
+	}
+	if err := WriteFile(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	load := func() spatial.Relation {
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spatial.NewRelation("r", got)
+	}
+	a, b := Fingerprint(load()), Fingerprint(load())
+	if a != b {
+		t.Fatalf("re-loading identical data changed the fingerprint: %016x vs %016x", a, b)
+	}
+	if a != Fingerprint(rel) {
+		t.Fatalf("round trip through the file changed the fingerprint: %016x vs %016x", Fingerprint(rel), a)
+	}
+}
+
+// TestFingerprintOrderIndependent shuffles the record slice (keeping
+// each record's ID-rectangle binding) and checks the fingerprint is
+// unchanged.
+func TestFingerprintOrderIndependent(t *testing.T) {
+	rel, err := SyntheticRelation("r", PaperDefaults(300), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fingerprint(rel)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := spatial.Relation{Name: "other-name", Items: append([]spatial.Item(nil), rel.Items...)}
+		rng.Shuffle(len(shuffled.Items), func(i, j int) {
+			shuffled.Items[i], shuffled.Items[j] = shuffled.Items[j], shuffled.Items[i]
+		})
+		if got := Fingerprint(shuffled); got != want {
+			t.Fatalf("trial %d: shuffled record order changed the fingerprint: %016x vs %016x", trial, got, want)
+		}
+	}
+}
+
+// TestFingerprintDetectsChanges flips single records and checks the
+// fingerprint moves: a one-record coordinate nudge, a dropped record,
+// an added record and a changed ID must all be distinguishable.
+func TestFingerprintDetectsChanges(t *testing.T) {
+	rel, err := SyntheticRelation("r", PaperDefaults(400), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Fingerprint(rel)
+
+	mutate := func(name string, f func(items []spatial.Item) []spatial.Item) {
+		items := append([]spatial.Item(nil), rel.Items...)
+		items = f(items)
+		if got := Fingerprint(spatial.Relation{Name: "r", Items: items}); got == base {
+			t.Errorf("%s: fingerprint did not change (%016x)", name, got)
+		}
+	}
+	mutate("one-record coordinate change", func(items []spatial.Item) []spatial.Item {
+		items[17].R.X += 0.5
+		return items
+	})
+	mutate("dropped record", func(items []spatial.Item) []spatial.Item {
+		return items[:len(items)-1]
+	})
+	mutate("added record", func(items []spatial.Item) []spatial.Item {
+		return append(items, spatial.Item{ID: int32(len(items)), R: items[0].R})
+	})
+	mutate("changed ID", func(items []spatial.Item) []spatial.Item {
+		items[3].ID = 9999
+		return items
+	})
+}

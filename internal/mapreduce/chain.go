@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -58,6 +59,19 @@ type ChainConfig struct {
 	// returning true kills the chain with a *ChainKilledError. Steps
 	// skipped by Resume are never consulted (their job does not run).
 	FailJob func(jobIndex int) bool
+	// Context, when non-nil, cancels the chain cooperatively: it is
+	// checked as each step begins, so a cancelled chain stops at the
+	// next job boundary — the pending step never runs, its checkpoint
+	// input is never read, and no further DFS or shuffle accounting is
+	// charged. The same context should also be passed to each step's
+	// job Config so an in-flight job aborts at its next task boundary.
+	Context context.Context
+	// OnStep, when non-nil, is called as each step (job) of the chain
+	// begins — including steps about to be skipped by Resume — with the
+	// step's chain index and name. Servers use it to publish per-job
+	// progress; it must be safe for whatever concurrency the caller's
+	// progress sink needs.
+	OnStep func(jobIndex int, name string)
 	// Tracer/TraceParent receive the chain's recovery counters
 	// (checkpoint_bytes_written, checkpoint_bytes_read, resumed_jobs);
 	// Metrics receives the equivalent chain_* totals. All optional.
@@ -202,15 +216,29 @@ func (c *Chain) Output() ([][]byte, error) {
 	return c.readPending()
 }
 
-// begin claims the next job index and validates chain state.
+// begin claims the next job index and validates chain state. The
+// cancellation check lives here — the job boundary — so a cancelled
+// chain charges nothing for the step it never starts: the claimed index
+// is not counted as a chain job, no checkpoint is read or written, and
+// the step closure (which loads its own inputs) never runs.
 func (c *Chain) begin(name string) (int, error) {
 	if c.killed {
 		return 0, fmt.Errorf("mapreduce: chain %q: step %q after kill", c.cfg.Name, name)
+	}
+	if ctx := c.cfg.Context; ctx != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			c.killed = true
+			c.count("chain_cancellations_total", 1)
+			return 0, fmt.Errorf("mapreduce: chain %q cancelled before job %d (%s): %w", c.cfg.Name, c.next, name, cause)
+		}
 	}
 	i := c.next
 	c.next++
 	c.stats.Jobs++
 	c.count("chain_jobs_total", 1)
+	if c.cfg.OnStep != nil {
+		c.cfg.OnStep(i, name)
+	}
 	return i, nil
 }
 

@@ -40,6 +40,7 @@ package mapreduce
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -56,6 +57,12 @@ import (
 type Config struct {
 	// Name identifies the job in stats and error messages.
 	Name string
+	// Context, when non-nil, cancels the job cooperatively: it is
+	// checked before every task attempt and at each phase boundary, so
+	// a cancelled job aborts promptly — no further tasks start, no
+	// further pairs are shuffled and no Stats are returned — with an
+	// error wrapping context.Cause. A nil Context never cancels.
+	Context context.Context
 	// NumReducers is the number of reduce tasks (k in §5.1). Required.
 	NumReducers int
 	// NumMappers is the number of map splits; defaults to Parallelism.
@@ -372,6 +379,22 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	if partition == nil {
 		partition = DefaultPartition[K]
 	}
+	// cancelled reports the job's cancellation error, nil while the
+	// context (if any) is live. Checked before each task attempt and at
+	// phase boundaries: a cancelled job never starts another task, so
+	// it stops within one task's work and shuffles nothing further.
+	cancelled := func() error {
+		if cfg.Context == nil {
+			return nil
+		}
+		if cause := context.Cause(cfg.Context); cause != nil {
+			return fmt.Errorf("mapreduce: job %q cancelled: %w", cfg.Name, cause)
+		}
+		return nil
+	}
+	if err := cancelled(); err != nil {
+		return nil, nil, err
+	}
 
 	stats := &Stats{
 		Job:             cfg.Name,
@@ -411,6 +434,10 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 
 	specMap := make([]int64, nm)
 	runTasks(cfg.Parallelism, nm, func(m int) {
+		if err := cancelled(); err != nil {
+			mapErrs[m] = err
+			return
+		}
 		lo := len(input) * m / nm
 		hi := len(input) * (m + 1) / nm
 		var delay time.Duration
@@ -522,6 +549,12 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		}
 	}
 
+	// A cancellation landing between phases stops before the shuffle, so
+	// no intermediate pair of this job is ever counted as shuffled.
+	if err := cancelled(); err != nil {
+		return nil, nil, err
+	}
+
 	// ---- shuffle: parallel k-way merge of the sorted mapper runs ----
 	// Each reducer's merge is one task; pair and byte totals were folded
 	// into the runs by the map phase, so no per-pair work remains here.
@@ -612,6 +645,10 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	}
 	specRed := make([]int64, cfg.NumReducers)
 	runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) {
+		if err := cancelled(); err != nil {
+			redErrs[r] = err
+			return
+		}
 		in := rin[r]
 		if len(in.keys) == 0 {
 			return

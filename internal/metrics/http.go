@@ -6,12 +6,14 @@
 package metrics
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // WritePrometheus renders the registry in the Prometheus text
@@ -100,16 +102,48 @@ func NewServeMux(r *Registry, p *Progress) *http.ServeMux {
 	return mux
 }
 
+// DefaultDrainTimeout bounds the graceful shutdown of the observability
+// servers: in-flight requests get this long to complete before the
+// listener is forcibly closed.
+const DefaultDrainTimeout = 5 * time.Second
+
 // ListenAndServe starts the observability server on addr (":0" picks a
 // free port) and returns the bound address plus a shutdown function.
 // The server runs until shutdown is called or the process exits — the
-// CLIs start it before a run so counters are scrapeable live.
+// CLIs start it before a run so counters are scrapeable live. Shutdown
+// drains gracefully: the listener stops accepting immediately, but
+// requests already in flight (a slow scrape, a pprof profile) are given
+// DefaultDrainTimeout to complete before being cut off.
 func ListenAndServe(addr string, r *Registry, p *Progress) (bound string, shutdown func() error, err error) {
+	return ListenAndServeHandler(addr, NewServeMux(r, p), DefaultDrainTimeout)
+}
+
+// ListenAndServeHandler starts an HTTP server for an arbitrary handler
+// on addr (":0" picks a free port) with a bounded graceful shutdown: the
+// returned shutdown function closes the listener, waits up to drain for
+// in-flight requests to finish, then forcibly closes whatever remains
+// and reports the drain failure. A non-positive drain closes
+// immediately (the pre-graceful behaviour). The join daemon serves its
+// job API through this so an operator shutdown never truncates an
+// in-flight long-poll mid-response.
+func ListenAndServeHandler(addr string, h http.Handler, drain time.Duration) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewServeMux(r, p)}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln) //nolint:errcheck // closed by shutdown
-	return ln.Addr().String(), srv.Close, nil
+	shutdown = func() error {
+		if drain <= 0 {
+			return srv.Close()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close() //nolint:errcheck // the drain already failed; force-close the stragglers
+			return fmt.Errorf("metrics: graceful drain incomplete after %v: %w", drain, err)
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestWritePrometheus(t *testing.T) {
@@ -119,6 +120,86 @@ func TestListenAndServe(t *testing.T) {
 	}
 	if err := shutdown(); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestShutdownDrainsInFlightRequest starts a long-poll request, calls
+// shutdown while the handler is still writing, and checks the request
+// completes with its full body — the graceful-drain contract the
+// daemon's shutdown path relies on.
+func TestShutdownDrainsInFlightRequest(t *testing.T) {
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/longpoll", func(w http.ResponseWriter, _ *http.Request) {
+		close(inFlight)
+		<-release
+		fmt.Fprint(w, "drained-ok")
+	})
+	addr, shutdown, err := ListenAndServeHandler("127.0.0.1:0", mux, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/longpoll")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+
+	<-inFlight // the long-poll is now being handled
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- shutdown() }()
+
+	// The shutdown must wait for the in-flight request: give it a moment
+	// to (incorrectly) cut the connection, then let the handler finish.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown after handler completion: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request was cut off by shutdown: %v", r.err)
+	}
+	if r.body != "drained-ok" {
+		t.Fatalf("in-flight request body = %q, want %q", r.body, "drained-ok")
+	}
+}
+
+// TestShutdownDrainDeadline checks the drain is bounded: a handler that
+// outlives the drain budget is forcibly cut and shutdown reports it.
+func TestShutdownDrainDeadline(t *testing.T) {
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, _ *http.Request) {
+		close(inFlight)
+		<-release
+	})
+	addr, shutdown, err := ListenAndServeHandler("127.0.0.1:0", mux, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get("http://" + addr + "/stuck") //nolint:errcheck // cut off deliberately
+	<-inFlight
+	if err := shutdown(); err == nil {
+		t.Fatal("shutdown reported success despite a handler exceeding the drain budget")
 	}
 }
 

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"mwsjoin/internal/metrics"
+)
+
+// NewHandler mounts the service's JSON API:
+//
+//	POST   /v1/jobs           submit a query  → 202 JobStatus (200 on cache hit)
+//	GET    /v1/jobs           list all jobs   → 200 [JobStatus]
+//	GET    /v1/jobs/{id}      job status      → 200 JobStatus
+//	GET    /v1/jobs/{id}/result?offset=&limit=  paginated tuples → 200 ResultPage
+//	DELETE /v1/jobs/{id}      cancel          → 200 JobStatus
+//	GET    /v1/relations      registered data → 200 [RelationInfo]
+//
+// plus the observability surface of metrics.NewServeMux (/metrics,
+// /debug/vars, /debug/pprof/*, /progress) when reg is non-nil. Errors
+// are JSON envelopes {"error": {"code", "message"}}: 400 for malformed
+// requests, 404 for unknown jobs, 409 for state conflicts (no result
+// yet, cancel after finish), 429 with Retry-After for admission
+// rejections, 503 when draining.
+func NewHandler(s *Server, reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+			return
+		}
+		st, err := s.Submit(req)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		if st.Cached {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		offset, err := queryInt(r, "offset", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		limit, err := queryInt(r, "limit", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		page, err := s.Result(r.PathValue("id"), offset, limit)
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, page)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/relations", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Relations())
+	})
+	if reg != nil {
+		obs := metrics.NewServeMux(reg, nil)
+		for _, p := range []string{"/metrics", "/debug/vars", "/debug/pprof/", "/progress"} {
+			mux.Handle(p, obs)
+		}
+	}
+	return mux
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort over HTTP
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	writeJSON(w, status, body)
+}
+
+// writeSubmitError maps Submit errors: structured admission rejections
+// become 429 with a Retry-After hint, drain rejections 503, unknown
+// relations and parse errors 400.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var adm *AdmissionError
+	switch {
+	case errors.As(err, &adm):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue_full", err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	}
+}
+
+// writeJobError maps job-inspection errors onto 404/409.
+func writeJobError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, ErrJobNotDone):
+		writeError(w, http.StatusConflict, "no_result", err.Error())
+	case errors.Is(err, ErrJobFinished):
+		writeError(w, http.StatusConflict, "already_finished", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, errors.New("query parameter " + name + " must be an integer")
+	}
+	return n, nil
+}

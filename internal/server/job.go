@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+
+	"mwsjoin/internal/grid"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/spatial"
+	"mwsjoin/internal/trace"
+)
+
+// State is a job's lifecycle state. Transitions are monotone:
+// queued → running → {done, failed, cancelled}, with queued → cancelled
+// as the only shortcut (a job cancelled before a worker picked it up).
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted query execution. All mutable fields are guarded
+// by the owning Server's mutex; handed-out snapshots are JobStatus
+// values.
+type Job struct {
+	id       string
+	seq      int64 // submission order, the FIFO tiebreak
+	queryTxt string
+	q        *query.Query
+	method   spatial.Method
+	rels     []spatial.Relation
+	priority int
+	// cost is the admission-control cost: the EXPLAIN-predicted total
+	// intermediate pairs (spatial.Predict). Cheaper jobs of equal
+	// priority run first, and the in-flight cost budget throttles on it.
+	cost   float64
+	rounds int // predicted chain length, the progress denominator
+	key    cacheKey
+	// part is the reducer grid, computed once at admission so Predict
+	// and Execute cost the same plan.
+	part *grid.Partitioning
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	state       State
+	stepsDone   int
+	currentStep string
+	cached      bool
+	res         *spatial.Result
+	err         error
+	tracer      *trace.Tracer
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// JobStatus is a point-in-time snapshot of a job, the GET /v1/jobs/{id}
+// payload.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Query    string `json:"query"`
+	Method   string `json:"method"`
+	Priority int    `json:"priority"`
+	// PredictedPairs is the EXPLAIN-based admission cost the scheduler
+	// queued the job by; PredictedRounds is the expected chain length.
+	PredictedPairs  float64 `json:"predicted_pairs"`
+	PredictedRounds int     `json:"predicted_rounds"`
+	// StepsDone / CurrentStep report chain progress while running: the
+	// number of chain steps that have begun and the name of the latest.
+	StepsDone   int    `json:"steps_done"`
+	CurrentStep string `json:"current_step,omitempty"`
+	// Cached marks a submission served entirely from the result cache
+	// (no map-reduce job ran).
+	Cached bool `json:"cached"`
+	// OutputTuples and Stats are set once the job is done.
+	OutputTuples int64          `json:"output_tuples"`
+	Stats        *spatial.Stats `json:"stats,omitempty"`
+	Error        string         `json:"error,omitempty"`
+}
+
+// status snapshots the job; the caller must hold the server mutex.
+func (j *Job) status() *JobStatus {
+	st := &JobStatus{
+		ID:              j.id,
+		State:           j.state,
+		Query:           j.queryTxt,
+		Method:          j.method.String(),
+		Priority:        j.priority,
+		PredictedPairs:  j.cost,
+		PredictedRounds: j.rounds,
+		StepsDone:       j.stepsDone,
+		CurrentStep:     j.currentStep,
+		Cached:          j.cached,
+	}
+	if j.res != nil {
+		st.OutputTuples = j.res.Stats.OutputTuples
+		stats := j.res.Stats
+		st.Stats = &stats
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}

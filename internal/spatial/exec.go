@@ -1,6 +1,7 @@
 package spatial
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,6 +45,19 @@ type Config struct {
 	MaxAttempts int
 	FailMap     func(mapper, attempt int) bool
 	FailReduce  func(reducer, attempt int) bool
+	// Context, when non-nil, cancels the execution cooperatively: it is
+	// checked before input staging, at every chain-step (job) boundary
+	// and before every task attempt inside the running job, so a
+	// cancelled execution stops within one job boundary and charges no
+	// further DFS or shuffle accounting. The returned error wraps
+	// context.Cause. BruteForce, which runs no map-reduce job, is only
+	// checked up front.
+	Context context.Context
+	// OnChainStep, when non-nil, observes each chain step (map-reduce
+	// job) as it begins, with the step's chain index and name — the
+	// progress feed of the multi-query join service. It may be called
+	// from the executing goroutine at any job boundary.
+	OnChainStep func(jobIndex int, name string)
 	// FailJob, when non-nil, is the chain-level kill switch: each
 	// method's job sequence runs as a mapreduce.Chain, and FailJob(i)
 	// == true kills the run with a *mapreduce.ChainKilledError before
@@ -168,6 +182,11 @@ func (e *executor) endRound(id trace.SpanID) {
 // query slot i) with the chosen method and returns the tuples plus cost
 // statistics. All methods return the same tuple set.
 func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Result, error) {
+	if ctx := cfg.Context; ctx != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			return nil, fmt.Errorf("spatial: %v execution cancelled before start: %w", method, cause)
+		}
+	}
 	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree)
 	if err != nil {
 		return nil, err
@@ -258,6 +277,7 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 func (e *executor) jobConfig(name string) mapreduce.Config {
 	return mapreduce.Config{
 		Name:        name,
+		Context:     e.cfg.Context,
 		NumReducers: e.part.NumCells(),
 		NumMappers:  e.cfg.NumMappers,
 		Parallelism: e.cfg.Parallelism,
@@ -282,6 +302,8 @@ func (e *executor) chain(name string) *mapreduce.Chain {
 		FS:          e.fs,
 		Resume:      e.cfg.Resume,
 		FailJob:     e.cfg.FailJob,
+		Context:     e.cfg.Context,
+		OnStep:      e.cfg.OnChainStep,
 		Tracer:      e.tr,
 		TraceParent: e.runSpan,
 		Metrics:     e.cfg.Metrics,

@@ -32,6 +32,7 @@
 package mwsjoin
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -284,10 +285,21 @@ func Predict(q *Query, rels []Relation, method Method, opts *Options) (*Predicti
 // Run executes the query with the chosen method. rels[i] binds query
 // slot i; opts may be nil.
 func Run(q *Query, rels []Relation, method Method, opts *Options) (*Result, error) {
+	return RunContext(context.Background(), q, rels, method, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked at every job-chain boundary and before every map/reduce task
+// attempt, so a cancelled or timed-out execution stops within one job
+// boundary, charges no further simulated-DFS or shuffle accounting, and
+// returns an error wrapping context.Cause(ctx) (context.Canceled or
+// context.DeadlineExceeded, distinguishable with errors.Is).
+func RunContext(ctx context.Context, q *Query, rels []Relation, method Method, opts *Options) (*Result, error) {
 	cfg, err := buildConfig(rels, opts)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Context = ctx
 	return spatial.Execute(method, q, rels, cfg)
 }
 
@@ -349,6 +361,13 @@ func SyntheticRelation(name string, p SyntheticParams, seed uint64) (Relation, e
 func CaliforniaRoadsRelation(name string, n int, seed uint64) Relation {
 	return dataset.CaliforniaRoadsRelation(name, dataset.DefaultCaliforniaRoads(n), seed)
 }
+
+// RelationFingerprint returns an order-independent content hash of the
+// relation's records. Identical data always fingerprints identically
+// (regardless of record order or relation name) while any one-record
+// change moves the hash, so the fingerprint identifies a dataset
+// version — the multi-query join service keys its result cache on it.
+func RelationFingerprint(rel Relation) uint64 { return dataset.Fingerprint(rel) }
 
 // ReadRelationFile loads a relation from a dataset file (one
 // "x,y,l,b" line per rectangle).

@@ -41,6 +41,14 @@ go test -race -count=1 \
     -run 'TestKillResumeEveryJobBoundary|TestKillResumeRandomizedWorkload|TestSpeculativeSpatialEquivalence' \
     ./internal/spatial
 
+echo "== join service e2e under -race (daemon on :0, submit→poll→result→cancel) =="
+# The daemon binds a free loopback port and the test drives the whole
+# lifecycle over real HTTP, asserting bit-identical stats vs a serial
+# run and a cache hit on resubmission; -count=1 so the race detector
+# re-exercises the scheduler/worker goroutines every run.
+go test -race -count=1 -run 'TestDaemonEndToEnd' ./cmd/mwsjoind
+go test -race -count=1 -run 'TestServerExample' ./examples/server
+
 echo "== fuzz (FuzzParseQuery, 5s) =="
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
 
