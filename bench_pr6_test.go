@@ -1,0 +1,149 @@
+package mwsjoin
+
+// BENCH_PR6.json is the committed skew anchor: on the Zipf-clustered
+// workload, the adaptive partitioning must improve the C-Rep-L join
+// round's max/median reducer-pair skew by at least 5× over the uniform
+// grid of the same cell budget. TestBenchPR6Anchor guards the
+// committed numbers and re-measures a reduced-scale live run;
+// regenerate the full-scale anchor with:
+//
+//	MWSJ_WRITE_BENCH_PR6=1 go test -run TestBenchPR6Anchor .
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"mwsjoin/internal/dataset"
+)
+
+// pr6Anchor is the committed measurement record.
+type pr6Anchor struct {
+	Unit         int     `json:"unit"`
+	Seed         uint64  `json:"seed"`
+	Reducers     int     `json:"reducers"`
+	Regenerate   string  `json:"regenerate"`
+	UniformSkew  float64 `json:"uniform_max_median_skew"`
+	AdaptiveSkew float64 `json:"adaptive_max_median_skew"`
+	Improvement  float64 `json:"improvement"`
+	OutputTuples int64   `json:"output_tuples"`
+}
+
+// pr6Seed pins the committed workload.
+const pr6Seed = 2013
+
+// measurePR6 runs the skew comparison at the given scale: a
+// three-relation chain query over the Zipf-clustered workload,
+// executed with C-Rep-L (count-only) under the uniform grid and the
+// adaptive partitioning, reporting each join round's max/median
+// reducer-pair skew.
+func measurePR6(unit int) (pr6Anchor, error) {
+	a := pr6Anchor{Unit: unit, Seed: pr6Seed, Reducers: 64}
+	rels := make([]Relation, 3)
+	for i, name := range []string{"R1", "R2", "R3"} {
+		rel, err := dataset.ZipfClusteredRelation(name, dataset.SkewedDefaults(unit), pr6Seed)
+		if err != nil {
+			return a, err
+		}
+		rels[i] = rel
+	}
+	q := NewQuery("R1", "R2", "R3").Overlap(0, 1).Overlap(1, 2)
+
+	skewOf := func(partition string) (float64, int64, error) {
+		res, err := Run(q, rels, ControlledReplicateLimit,
+			&Options{Partition: partition, CountOnly: true})
+		if err != nil {
+			return 0, 0, err
+		}
+		join := res.Stats.Rounds[len(res.Stats.Rounds)-1]
+		return join.MaxMedianReducerSkew(), res.Stats.OutputTuples, nil
+	}
+	var err error
+	var uniTuples, adaTuples int64
+	if a.UniformSkew, uniTuples, err = skewOf("uniform"); err != nil {
+		return a, err
+	}
+	if a.AdaptiveSkew, adaTuples, err = skewOf("adaptive"); err != nil {
+		return a, err
+	}
+	if uniTuples != adaTuples {
+		return a, fmt.Errorf("output counts diverge: uniform %d, adaptive %d", uniTuples, adaTuples)
+	}
+	a.OutputTuples = uniTuples
+	if a.AdaptiveSkew > 0 {
+		a.Improvement = a.UniformSkew / a.AdaptiveSkew
+	}
+	a.Regenerate = "MWSJ_WRITE_BENCH_PR6=1 go test -run TestBenchPR6Anchor ."
+	return a, nil
+}
+
+// TestBenchPR6Anchor regenerates the anchor when MWSJ_WRITE_BENCH_PR6
+// is set (at unit 20000, or MWSJ_BENCH_UNIT if larger); otherwise it
+// re-measures the comparison at the reduced tier-1 scale and checks
+// both the live run and the committed full-scale record clear the 5×
+// bar.
+func TestBenchPR6Anchor(t *testing.T) {
+	const anchorFile = "BENCH_PR6.json"
+	if os.Getenv("MWSJ_WRITE_BENCH_PR6") != "" {
+		unit := 20_000
+		if u := benchUnit(); u > unit {
+			unit = u
+		}
+		a, err := measurePR6(unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(anchorFile, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: uniform %.1f, adaptive %.1f, improvement %.1fx",
+			anchorFile, a.UniformSkew, a.AdaptiveSkew, a.Improvement)
+		return
+	}
+
+	// Live reduced-scale measurement through the public API.
+	live, err := measurePR6(benchUnit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("live unit %d: uniform %.1f, adaptive %.1f, improvement %.1fx",
+		live.Unit, live.UniformSkew, live.AdaptiveSkew, live.Improvement)
+	if live.Improvement < 5 {
+		t.Errorf("live improvement %.2fx < 5x", live.Improvement)
+	}
+	if live.OutputTuples == 0 {
+		t.Error("live run produced no tuples — measurement is vacuous")
+	}
+
+	// Committed full-scale anchor.
+	raw, err := os.ReadFile(anchorFile)
+	if err != nil {
+		t.Fatalf("missing committed anchor (regenerate with %q): %v",
+			"MWSJ_WRITE_BENCH_PR6=1 go test -run TestBenchPR6Anchor .", err)
+	}
+	var a pr6Anchor
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatalf("%s: %v", anchorFile, err)
+	}
+	if a.Unit < 20_000 {
+		t.Errorf("committed anchor unit %d < 20000", a.Unit)
+	}
+	if a.Seed != pr6Seed || a.Reducers != 64 {
+		t.Errorf("committed anchor ran seed %d / %d reducers, want %d / 64", a.Seed, a.Reducers, pr6Seed)
+	}
+	if a.Improvement < 5 {
+		t.Errorf("committed improvement %.2fx < 5x", a.Improvement)
+	}
+	if a.AdaptiveSkew > 0 && a.UniformSkew/a.AdaptiveSkew != a.Improvement {
+		t.Errorf("committed improvement %.4f inconsistent with skews %.4f/%.4f",
+			a.Improvement, a.UniformSkew, a.AdaptiveSkew)
+	}
+	if a.OutputTuples == 0 {
+		t.Error("committed anchor records no output tuples")
+	}
+}

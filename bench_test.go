@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"mwsjoin/internal/bench"
+	"mwsjoin/internal/dataset"
 	"mwsjoin/internal/spatial"
 )
 
@@ -231,6 +232,38 @@ func BenchmarkPartitioningAblation(b *testing.B) {
 				skew = res.Stats.Rounds[len(res.Stats.Rounds)-1].MaxReducerSkew()
 			}
 			b.ReportMetric(skew, "reducer-skew")
+		})
+	}
+}
+
+// BenchmarkAdaptivePartitioningSkew is the PR6 headline comparison at
+// bench scale: the uniform grid versus the sample-driven adaptive
+// partitioning on the Zipf-clustered skewed workload, reporting the
+// C-Rep-L join round's max/median reducer-pair skew (the committed
+// full-scale numbers live in BENCH_PR6.json).
+func BenchmarkAdaptivePartitioningSkew(b *testing.B) {
+	n := benchUnit()
+	rels := make([]Relation, 3)
+	for i, name := range []string{"R1", "R2", "R3"} {
+		rel, err := dataset.ZipfClusteredRelation(name, dataset.SkewedDefaults(n), 2013)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels[i] = rel
+	}
+	q := NewQuery("R1", "R2", "R3").Overlap(0, 1).Overlap(1, 2)
+	for _, partition := range []string{"uniform", "adaptive"} {
+		b.Run(partition, func(b *testing.B) {
+			var skew float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(q, rels, ControlledReplicateLimit,
+					&Options{Partition: partition, CountOnly: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				skew = res.Stats.Rounds[len(res.Stats.Rounds)-1].MaxMedianReducerSkew()
+			}
+			b.ReportMetric(skew, "max-median-skew")
 		})
 	}
 }

@@ -111,7 +111,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		queryText = fs.String("query", "", `query text, e.g. "R1 ov R2 and R2 ra(100) R3"`)
 		method    = fs.String("method", "c-rep-l", "join method: brute-force | 2-way-cascade | all-replicate | c-rep | c-rep-l")
-		reducers  = fs.Int("reducers", 64, "reducer count (perfect square)")
+		reducers  = fs.Int("reducers", 64, "reducer count (perfect square for -partition uniform)")
+		partition = fs.String("partition", "uniform", "reducer partitioning scheme: uniform | adaptive (sample-driven split/merge, balances skewed data; results are identical)")
+		splitThr  = fs.Float64("split-threshold", 0, "adaptive-partition split capacity factor; a region splits while it holds more than split-threshold × (sample/reducers) sample points (0 = default 1.0)")
+		rtreeThr  = fs.Int("rtree-sweep-threshold", 0, "per-cell record count at which cascade reducers swap the plane sweep for an STR R-tree; 0 = default 256, negative = never (results are identical either way)")
 		stats     = fs.Bool("stats", false, "print cost statistics to stderr")
 		quiet     = fs.Bool("quiet", false, "suppress tuple output (use with -stats)")
 		euclid    = fs.Bool("euclidean-limit", false, "use the paper's Euclidean C-Rep-L metric")
@@ -192,12 +195,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	opts := mwsjoin.Options{
-		Reducers:       *reducers,
-		EuclideanLimit: *euclid,
-		AllowSelfPairs: *selfPairs,
-		Speculative:    *specul,
-		Tracer:         tracer,
-		Metrics:        reg,
+		Reducers:            *reducers,
+		Partition:           *partition,
+		SplitThreshold:      *splitThr,
+		RTreeSweepThreshold: *rtreeThr,
+		EuclideanLimit:      *euclid,
+		AllowSelfPairs:      *selfPairs,
+		Speculative:         *specul,
+		Tracer:              tracer,
+		Metrics:             reg,
 	}
 	if *resume {
 		f, err := os.Open(*chkPath)

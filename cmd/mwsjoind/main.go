@@ -43,6 +43,7 @@ import (
 
 	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/server"
+	"mwsjoin/internal/spatial"
 )
 
 // testAfterStart, when set by tests, receives the bound listen address
@@ -91,7 +92,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		queueLimit = fs.Int("queue-limit", 64, "queued-job bound; submissions beyond it are rejected with 429")
 		costBudget = fs.Float64("cost-budget", 0, "max summed EXPLAIN-predicted intermediate pairs in flight; 0 = unbounded")
 		cacheBytes = fs.Int64("cache-bytes", server.DefaultCacheBytes, "result-cache byte budget; negative disables caching")
-		reducers   = fs.Int("reducers", 64, "reducer count per job (perfect square)")
+		reducers   = fs.Int("reducers", 64, "reducer count per job (perfect square for -partition uniform)")
+		partition  = fs.String("partition", "uniform", "per-job reducer partitioning scheme: uniform | adaptive; the adaptive grid is built at admission, so EXPLAIN pricing matches the executed plan")
+		splitThr   = fs.Float64("split-threshold", 0, "adaptive-partition split capacity factor (0 = default 1.0)")
 		parallel   = fs.Int("parallelism", 0, "per-job concurrent task bound; 0 = GOMAXPROCS")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for running jobs and in-flight HTTP requests")
 	)
@@ -104,14 +107,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	reg := metrics.NewRegistry()
+	scheme, err := spatial.ParsePartitionScheme(*partition)
+	if err != nil {
+		return err
+	}
 	srv := server.New(server.Config{
-		Workers:     *workers,
-		QueueLimit:  *queueLimit,
-		CostBudget:  *costBudget,
-		CacheBytes:  *cacheBytes,
-		Reducers:    *reducers,
-		Parallelism: *parallel,
-		Metrics:     reg,
+		Workers:        *workers,
+		QueueLimit:     *queueLimit,
+		CostBudget:     *costBudget,
+		CacheBytes:     *cacheBytes,
+		Reducers:       *reducers,
+		Partition:      scheme,
+		SplitThreshold: *splitThr,
+		Parallelism:    *parallel,
+		Metrics:        reg,
 	})
 	for _, name := range rels.names {
 		rel, err := mwsjoin.ReadRelationFile(name, rels.files[name])

@@ -90,13 +90,14 @@ func (a api) json(method, path string, body, out any, wantStatus int) {
 // run and that a repeated submission is a cache hit.
 func TestDaemonEndToEnd(t *testing.T) {
 	dir := t.TempDir()
-	// The 3-way join over these sizes runs long enough (tens of
-	// milliseconds at minimum, far more under -race) that the victim
-	// job submitted behind it on the single worker is reliably still
-	// queued when the cancel lands.
-	pathA, relA := writeTestRelation(t, dir, "A", 1500, 1)
-	pathB, relB := writeTestRelation(t, dir, "B", 1500, 2)
-	pathC, relC := writeTestRelation(t, dir, "C", 1500, 3)
+	// The 3-way join over these sizes runs for hundreds of milliseconds
+	// at minimum (far more under -race); the cancellation section below
+	// stacks three such runs on the single worker so the victim job is
+	// reliably still queued when the cancel lands, even when loopback
+	// round trips jitter by tens of milliseconds under CPU contention.
+	pathA, relA := writeTestRelation(t, dir, "A", 3000, 1)
+	pathB, relB := writeTestRelation(t, dir, "B", 3000, 2)
+	pathC, relC := writeTestRelation(t, dir, "C", 3000, 3)
 
 	type startInfo struct {
 		addr string
@@ -139,15 +140,24 @@ func TestDaemonEndToEnd(t *testing.T) {
 
 	// Submit a 3-way join, then a second job, and cancel the second
 	// while it is still queued behind the first (-workers 1 makes the
-	// ordering deterministic).
+	// ordering deterministic). Two filler runs of the same join under
+	// different methods keep the single worker busy — on a fast machine
+	// one heavy job alone can finish before the cancel request lands —
+	// and the victim's negative priority stops the cost-ordered queue
+	// from running the cheap victim ahead of the remaining fillers.
 	var heavy server.JobStatus
 	a.json("POST", "/v1/jobs", server.SubmitRequest{Query: "A ov B and B ov C", Method: "c-rep-l"},
 		&heavy, http.StatusAccepted)
 	if heavy.State != server.StateQueued && heavy.State != server.StateRunning {
 		t.Fatalf("submitted job state %s", heavy.State)
 	}
+	for _, filler := range []string{"c-rep", "all-replicate"} {
+		var f server.JobStatus
+		a.json("POST", "/v1/jobs", server.SubmitRequest{Query: "A ov B and B ov C", Method: filler},
+			&f, http.StatusAccepted)
+	}
 	var victim server.JobStatus
-	a.json("POST", "/v1/jobs", server.SubmitRequest{Query: "A ov C", Method: "2-way-cascade"},
+	a.json("POST", "/v1/jobs", server.SubmitRequest{Query: "A ov C", Method: "2-way-cascade", Priority: -1},
 		&victim, http.StatusAccepted)
 	var cancelled server.JobStatus
 	a.json("DELETE", "/v1/jobs/"+victim.ID, nil, &cancelled, http.StatusOK)

@@ -1,0 +1,137 @@
+package index
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"mwsjoin/internal/geom"
+)
+
+// TestRTreeStructure checks the STR bulk-load invariants directly on
+// the node arrays: every node holds 1..fanout items, all leaves sit at
+// the same depth, the leaves partition the rectangle indices exactly
+// once, and every node's MBR is the union of its children.
+func TestRTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 7))
+	for _, n := range []int{1, 15, 16, 17, 255, 1000} {
+		rects := randRects(n, rng, 1000, 20)
+		tr := NewRTree(rects)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+
+		seen := make([]int, n)
+		leafDepths := map[int]bool{}
+		var walk func(node int32, depth int) geom.Rect
+		walk = func(node int32, depth int) geom.Rect {
+			nd := tr.nodes[node]
+			if len(nd.items) == 0 || len(nd.items) > rtreeFanout {
+				t.Fatalf("n=%d: node with %d items (fanout %d)", n, len(nd.items), rtreeFanout)
+			}
+			var union geom.Rect
+			for j, it := range nd.items {
+				var child geom.Rect
+				if nd.leaf {
+					leafDepths[depth] = true
+					seen[it]++
+					child = rects[it]
+				} else {
+					child = walk(it, depth+1)
+				}
+				if j == 0 {
+					union = child
+				} else {
+					union = union.Union(child)
+				}
+			}
+			if nd.mbr != union {
+				t.Fatalf("n=%d: node MBR %v != union of children %v", n, nd.mbr, union)
+			}
+			return union
+		}
+		walk(tr.root, 1)
+
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: rect %d appears in %d leaves", n, i, c)
+			}
+		}
+		if len(leafDepths) != 1 {
+			t.Errorf("n=%d: leaves at %d distinct depths, want 1", n, len(leafDepths))
+		}
+		for d := range leafDepths {
+			if d != tr.Height() {
+				t.Errorf("n=%d: leaf depth %d != Height %d", n, d, tr.Height())
+			}
+		}
+	}
+}
+
+// TestRTreeDeterministicBuild: bulk-loading the same slice twice yields
+// the identical tree (probe order in the reducers depends on it).
+func TestRTreeDeterministicBuild(t *testing.T) {
+	rects := randRects(500, rand.New(rand.NewPCG(3, 3)), 1000, 15)
+	a, b := NewRTree(rects), NewRTree(rects)
+	if !reflect.DeepEqual(a.nodes, b.nodes) || a.root != b.root {
+		t.Error("same input produced different trees")
+	}
+}
+
+// TestRTreeDuplicateMBBs: many rectangles sharing one MBB land in
+// several leaves with identical MBRs; a probe must still report each
+// index exactly once.
+func TestRTreeDuplicateMBBs(t *testing.T) {
+	dup := geom.Rect{X: 10, Y: 20, L: 5, B: 5}
+	rects := make([]geom.Rect, 100)
+	for i := range rects {
+		rects[i] = dup
+	}
+	tr := NewRTree(rects)
+	counts := map[int]int{}
+	tr.Probe(geom.Rect{X: 12, Y: 18, L: 1, B: 1}, 0, func(i int) bool {
+		counts[i]++
+		return true
+	})
+	if len(counts) != 100 {
+		t.Errorf("probe matched %d of 100 duplicate rects", len(counts))
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("rect %d reported %d times", i, c)
+		}
+	}
+	// A disjoint probe beyond the shared MBB matches nothing.
+	if got := collect(tr, geom.Rect{X: 40, Y: 20, L: 5, B: 5}, 0); len(got) != 0 {
+		t.Errorf("disjoint probe matched %v", got)
+	}
+}
+
+// FuzzRTreeProbe fuzzes probe-vs-brute-force agreement: whatever
+// workload seed and probe geometry the fuzzer invents, the R-tree must
+// return exactly the linear scan's matches.
+func FuzzRTreeProbe(f *testing.F) {
+	f.Add(uint64(1), 50, 10.0, 20.0, 5.0, 5.0, 0.0)
+	f.Add(uint64(2), 0, 0.0, 0.0, 0.0, 0.0, 1.0)            // empty tree
+	f.Add(uint64(3), 1, -50.0, 1000.0, 2000.0, 2000.0, 0.0) // probe covers space
+	f.Add(uint64(4), 200, 500.0, 500.0, 0.0, 0.0, 25.0)     // point probe, distance
+	f.Add(uint64(5), 17, 100.0, 100.0, 1.0, 1.0, -1.0)      // negative distance
+	f.Fuzz(func(t *testing.T, seed uint64, n int, px, py, pl, pb, d float64) {
+		if n < 0 || n > 500 {
+			return
+		}
+		for _, v := range []float64{px, py, pl, pb, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return
+			}
+		}
+		rects := randRects(n, rand.New(rand.NewPCG(seed, 0xf0cc)), 1000, 30)
+		probe := geom.Rect{X: px, Y: py, L: math.Abs(pl), B: math.Abs(pb)}
+		want := collect(NewLinear(rects), probe, d)
+		got := collect(NewRTree(rects), probe, d)
+		if !equalInts(got, want) {
+			t.Fatalf("seed=%d n=%d probe=%v d=%v: rtree %v, linear %v", seed, n, probe, d, got, want)
+		}
+	})
+}

@@ -184,6 +184,25 @@ func (s *Stats) MaxReducerSkew() float64 {
 	return float64(max) / mean
 }
 
+// MaxMedianReducerSkew returns the ratio of the most loaded reducer to
+// the median reducer load — the skew quantile the adaptive-partitioning
+// work targets: unlike max/mean it is not diluted by a long tail of
+// empty reducers. The median is floored at one pair so the ratio stays
+// finite on workloads where most reducers receive nothing; it returns 0
+// when no pairs were shuffled.
+func (s *Stats) MaxMedianReducerSkew() float64 {
+	if s.IntermediatePairs == 0 || len(s.PairsPerReducer) == 0 {
+		return 0
+	}
+	loads := append([]int64(nil), s.PairsPerReducer...)
+	slices.Sort(loads)
+	med := loads[len(loads)/2]
+	if med < 1 {
+		med = 1
+	}
+	return float64(loads[len(loads)-1]) / float64(med)
+}
+
 // Add accumulates another job's counters into s (used when an
 // algorithm runs several rounds and wants aggregate numbers). Wall
 // times add; per-reducer loads add element-wise when the shapes match.

@@ -1,0 +1,33 @@
+package mapreduce
+
+import "testing"
+
+func TestMaxMedianReducerSkew(t *testing.T) {
+	cases := []struct {
+		name  string
+		loads []int64
+		pairs int64
+		want  float64
+	}{
+		{"empty", nil, 0, 0},
+		{"no-pairs", []int64{0, 0}, 0, 0},
+		{"balanced", []int64{10, 10, 10, 10}, 40, 1},
+		{"skewed", []int64{1, 2, 3, 90}, 96, 30},              // median of sorted {1,2,3,90} is 3
+		{"median-floored", []int64{0, 0, 0, 80}, 80, 80},      // median 0 floors to 1
+		{"even-count", []int64{2, 4, 6, 100}, 112, 100.0 / 6}, // upper median
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Stats{IntermediatePairs: tc.pairs, PairsPerReducer: tc.loads}
+			if got := s.MaxMedianReducerSkew(); got != tc.want {
+				t.Errorf("MaxMedianReducerSkew() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	// The metric must not mutate the recorded loads.
+	s := &Stats{IntermediatePairs: 10, PairsPerReducer: []int64{9, 1}}
+	s.MaxMedianReducerSkew()
+	if s.PairsPerReducer[0] != 9 || s.PairsPerReducer[1] != 1 {
+		t.Error("MaxMedianReducerSkew reordered PairsPerReducer")
+	}
+}

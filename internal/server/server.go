@@ -66,10 +66,20 @@ type Config struct {
 	// CacheBytes is the result-cache budget: 0 picks
 	// DefaultCacheBytes, negative disables caching.
 	CacheBytes int64
-	// Reducers is the per-job reducer-grid size (perfect square);
-	// 0 uses the paper's 64. Every job of the service uses the same
-	// setting so cached and fresh results are interchangeable.
+	// Reducers is the per-job reducer-grid size (perfect square for the
+	// uniform scheme, any positive count for adaptive); 0 uses the
+	// paper's 64. Every job of the service uses the same setting so
+	// cached and fresh results are interchangeable.
 	Reducers int
+	// Partition selects the per-job partitioning scheme
+	// (spatial.PartitionUniform or spatial.PartitionAdaptive). The
+	// partitioning is built at admission and reused by the run, so
+	// EXPLAIN-based admission prices the plan actually executed.
+	// Results are bit-identical across schemes, so cached entries stay
+	// valid regardless of the scheme they were computed under.
+	Partition spatial.PartitionScheme
+	// SplitThreshold tunes the adaptive scheme (≤ 0 = default 1.0).
+	SplitThreshold float64
 	// Parallelism bounds each job's concurrent map/reduce tasks
 	// (mapreduce.Config.Parallelism); 0 uses the engine default.
 	Parallelism int
@@ -264,7 +274,7 @@ func (s *Server) Submit(req SubmitRequest) (*JobStatus, error) {
 	}
 	key := cacheKey{query: q.String(), method: method, fps: string(fps)}
 
-	part, err := spatial.DefaultPartitioning(rels, s.cfg.Reducers)
+	part, err := spatial.BuildPartitioning(s.cfg.Partition, rels, s.cfg.Reducers, s.cfg.SplitThreshold)
 	if err != nil {
 		return nil, err
 	}

@@ -12,7 +12,6 @@ import (
 	"mwsjoin/internal/mapreduce"
 	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/query"
-	"mwsjoin/internal/sweep"
 )
 
 // cascade runs the 2-way Cascade baseline (§6.1): the multi-way query
@@ -251,8 +250,10 @@ func cascadeReduce(pl *plan, part *grid.Partitioning, newSlot, keyPos int, edges
 		}
 		// keys and rects arrive pre-sorted by MinX: the cascade sorts
 		// both relations before the job and the shuffle preserves input
-		// order within each cell.
-		sweep.JoinSorted(keys, rects, d, func(i, j int) bool {
+		// order within each cell. Dense cells answer through a
+		// bulk-loaded R-tree instead of the plane sweep, with identical
+		// pair order (see joinSortedDense).
+		usedRTree := joinSortedDense(keys, rects, d, pl.rtreeThreshold, func(i, j int) bool {
 			t := tuples[i]
 			if !cascadeAccepts(pl, t, newSlot, ids[j], rects[j], edges, primary) {
 				return true
@@ -278,7 +279,22 @@ func cascadeReduce(pl *plan, part *grid.Partitioning, newSlot, keyPos int, edges
 			})
 			return true
 		})
+		observeCellJoin(reg, usedRTree)
 		return nil
+	}
+}
+
+// observeCellJoin counts which per-cell join path ran — the trace of
+// the dense-cell R-tree escalation. Discarded attempts under injected
+// reduce faults count again, mirroring observeCell.
+func observeCellJoin(reg *metrics.Registry, usedRTree bool) {
+	if reg == nil {
+		return
+	}
+	if usedRTree {
+		reg.Counter("spatial_cell_rtree_joins_total").Add(1)
+	} else {
+		reg.Counter("spatial_cell_sweep_joins_total").Add(1)
 	}
 }
 

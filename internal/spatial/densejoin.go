@@ -1,0 +1,46 @@
+package spatial
+
+import (
+	"sort"
+
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/index"
+	"mwsjoin/internal/sweep"
+)
+
+// joinSortedDense is the cascade reducer's per-cell 2-way join: below
+// the density threshold it is exactly sweep.JoinSorted; at or above it
+// (threshold 0 disables the escalation) the bs side is bulk-loaded into
+// an STR R-tree and each a probes it — replacing the sweep's quadratic
+// worst case (all rectangles stacked in one x window, precisely what a
+// skewed cell delivers) with log-ish probes. The emitted pair sequence
+// is bit-identical to the sweep's: per-probe matches are sorted
+// ascending, the sweep's (i ascending, then k ascending) order, and
+// both paths apply the same symmetric overlap/within-distance
+// predicate. fn returning false stops the join early, as in the sweep.
+// It reports whether the R-tree path ran.
+func joinSortedDense(as, bs []geom.Rect, d float64, threshold int, fn func(i, k int) bool) bool {
+	if threshold <= 0 || len(as)+len(bs) < threshold {
+		sweep.JoinSorted(as, bs, d, fn)
+		return false
+	}
+	if len(as) == 0 || len(bs) == 0 || d < 0 {
+		return true
+	}
+	t := index.NewRTree(bs)
+	var ks []int
+	for i := range as {
+		ks = ks[:0]
+		t.Probe(as[i], d, func(k int) bool {
+			ks = append(ks, k)
+			return true
+		})
+		sort.Ints(ks)
+		for _, k := range ks {
+			if !fn(i, k) {
+				return true
+			}
+		}
+	}
+	return true
+}

@@ -19,9 +19,24 @@ import (
 // Config tunes a join execution.
 type Config struct {
 	// Part is the reducer grid (§5.1: one reducer per cell). When nil,
-	// DefaultPartitioning over the data bounds with 64 reducers (8×8,
-	// §7.8.1) is used.
+	// one is built from the bound relations per Scheme — the uniform
+	// default is DefaultPartitioning's 64-reducer grid (8×8, §7.8.1).
 	Part *grid.Partitioning
+	// Scheme selects how the grid is derived when Part is nil:
+	// PartitionUniform (default) or PartitionAdaptive.
+	Scheme PartitionScheme
+	// SplitThreshold tunes the adaptive scheme's region capacity (see
+	// grid.AdaptiveOptions.SplitThreshold); ≤ 0 uses the default 1.0.
+	// Ignored when Part is set or Scheme is uniform.
+	SplitThreshold float64
+	// RTreeSweepThreshold is the per-cell record count at which the
+	// cascade reducers switch their plane sweep to probes of a
+	// bulk-loaded STR R-tree, and the backtracking matchers escalate
+	// their bucket-grid index to the R-tree — the dense-cell defence
+	// against the sweep's quadratic worst case. 0 uses the default
+	// (DefaultRTreeSweepThreshold); negative disables the escalation.
+	// Emitted tuples and their order are identical either way.
+	RTreeSweepThreshold int
 	// Parallelism and NumMappers pass through to the engine; zero
 	// values use the engine defaults.
 	Parallelism int
@@ -119,6 +134,13 @@ func DefaultPartitioning(rels []Relation, k int) (*grid.Partitioning, error) {
 	if side*side != k {
 		return nil, fmt.Errorf("spatial: reducer count %d is not a perfect square", k)
 	}
+	return grid.NewUniform(dataBounds(rels), side, side)
+}
+
+// dataBounds computes the bounding box of all bound relations, widened
+// to positive area (unit square for empty data, unit extent for
+// degenerate axes).
+func dataBounds(rels []Relation) geom.Rect {
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
 	any := false
@@ -140,7 +162,7 @@ func DefaultPartitioning(rels []Relation, k int) (*grid.Partitioning, error) {
 	if maxY <= minY {
 		maxY = minY + 1
 	}
-	return grid.NewUniform(geom.RectFromCorners(geom.Point{X: minX, Y: minY}, geom.Point{X: maxX, Y: maxY}), side, side)
+	return geom.RectFromCorners(geom.Point{X: minX, Y: minY}, geom.Point{X: maxX, Y: maxY})
 }
 
 // executor carries the per-execution context shared by the methods.
@@ -187,7 +209,7 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 			return nil, fmt.Errorf("spatial: %v execution cancelled before start: %w", method, cause)
 		}
 	}
-	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree)
+	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree, cfg.RTreeSweepThreshold)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +225,7 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 	}
 	part := cfg.Part
 	if part == nil {
-		if part, err = DefaultPartitioning(rels, 0); err != nil {
+		if part, err = BuildPartitioning(cfg.Scheme, rels, 0, cfg.SplitThreshold); err != nil {
 			return nil, err
 		}
 	}
@@ -255,6 +277,7 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 	}
 	res.Stats.DFS = statsDelta(before, fs.Stats())
 	if exec.runSpan != 0 {
+		exec.tr.Add(exec.runSpan, "cells", int64(part.NumCells()))
 		exec.tr.Add(exec.runSpan, "tuples", res.Stats.OutputTuples)
 		exec.tr.Add(exec.runSpan, "pairs", res.Stats.IntermediatePairs())
 		exec.tr.Add(exec.runSpan, "marked", res.Stats.RectanglesReplicated)
@@ -262,6 +285,7 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 		exec.tr.Add(exec.runSpan, "rounds", int64(len(res.Stats.Rounds)))
 	}
 	if reg := cfg.Metrics; reg != nil {
+		reg.Gauge("spatial_partition_cells").Set(int64(part.NumCells()))
 		reg.Counter("spatial_runs_total").Add(1)
 		reg.Counter("spatial_output_tuples_total").Add(res.Stats.OutputTuples)
 		reg.Counter("spatial_intermediate_pairs_total").Add(res.Stats.IntermediatePairs())

@@ -16,6 +16,11 @@ import (
 // (the mwsjoin -explain mode prints both with relative errors).
 type Prediction struct {
 	Method Method
+	// Cells is the reducer-cell count of the partitioning the estimate
+	// was priced against — the same partitioning Execute resolves from
+	// the config (including the adaptive scheme), so admission control
+	// prices the plan actually run.
+	Cells int
 	// Rounds is the number of map-reduce jobs the method will run.
 	Rounds int
 	// RoundPairs predicts the intermediate key-value pairs shuffled by
@@ -39,7 +44,7 @@ type Prediction struct {
 // fixed seed), so predictions are reproducible. BruteForce predicts
 // zero communication: it runs no map-reduce job.
 func Predict(method Method, q *query.Query, rels []Relation, cfg Config) (*Prediction, error) {
-	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree)
+	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree, cfg.RTreeSweepThreshold)
 	if err != nil {
 		return nil, err
 	}
@@ -49,13 +54,13 @@ func Predict(method Method, q *query.Query, rels []Relation, cfg Config) (*Predi
 	}
 	part := cfg.Part
 	if part == nil {
-		if part, err = DefaultPartitioning(rels, 0); err != nil {
+		if part, err = BuildPartitioning(cfg.Scheme, rels, 0, cfg.SplitThreshold); err != nil {
 			return nil, err
 		}
 	}
 	pr := &predictor{pl: pl, part: part, rels: rels, sampler: sampler, metric: cfg.LimitMetric}
 
-	p := &Prediction{Method: method}
+	p := &Prediction{Method: method, Cells: part.NumCells()}
 	switch method {
 	case BruteForce:
 		// Single-machine reference: no shuffle, no replication.

@@ -32,7 +32,7 @@ func TestOptimizeOrderPicksCheapEdgeFirst(t *testing.T) {
 		mk("R3", 400, 2), // tiny rectangles: sparse joins
 	}
 	q := query.New("R1", "R2", "R3").Overlap(0, 1).Overlap(1, 2)
-	pl, err := newPlan(q, rels, true, false)
+	pl, err := newPlan(q, rels, true, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestOptimizeOrderReducesCascadeTraffic(t *testing.T) {
 func TestOptimizeOrderTwoSlotsNoop(t *testing.T) {
 	q := query.New("A", "B").Overlap(0, 1)
 	rels := []Relation{NewRelation("A", nil), NewRelation("B", nil)}
-	pl, _ := newPlan(q, rels, true, false)
+	pl, _ := newPlan(q, rels, true, false, 0)
 	before := append([]int(nil), pl.order...)
 	pl.optimizeOrder(rels, estimate.NewSampler(0, 1))
 	if !reflect.DeepEqual(pl.order, before) {

@@ -1,0 +1,95 @@
+package spatial
+
+import (
+	"fmt"
+
+	"mwsjoin/internal/estimate"
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
+)
+
+// PartitionScheme selects how the reducer grid is derived from the
+// bound relations when Config.Part is nil.
+type PartitionScheme uint8
+
+const (
+	// PartitionUniform is the paper's √k × √k uniform grid over the
+	// data bounds (§5.1). Default.
+	PartitionUniform PartitionScheme = iota
+	// PartitionAdaptive is the sample-driven skew-aware partitioning:
+	// hot regions split recursively, cold rows/columns merge, capped at
+	// k cells (see grid.NewAdaptive).
+	PartitionAdaptive
+)
+
+func (s PartitionScheme) String() string {
+	if s == PartitionAdaptive {
+		return "adaptive"
+	}
+	return "uniform"
+}
+
+// ParsePartitionScheme resolves a scheme name; the empty string is the
+// uniform default.
+func ParsePartitionScheme(s string) (PartitionScheme, error) {
+	switch s {
+	case "", "uniform":
+		return PartitionUniform, nil
+	case "adaptive":
+		return PartitionAdaptive, nil
+	}
+	return 0, fmt.Errorf("spatial: unknown partition scheme %q (want uniform or adaptive)", s)
+}
+
+// adaptiveSampleStream offsets the sampler streams the adaptive
+// partitioner draws from, keeping them disjoint from the EXPLAIN cost
+// model's streams (1, 2 and 3+slot).
+const adaptiveSampleStream = 0x5eed
+
+// AdaptivePartitioning builds the skew-aware reducer grid for the
+// bound relations: each distinct relation contributes a deterministic
+// uniform sample of its rectangles (the pre-pass a real deployment
+// would run as a cheap sampling job), and grid.NewAdaptive splits hot
+// regions and merges cold ones into at most k cells over the full data
+// bounds. k ≤ 0 uses the paper's 64-reducer default; unlike the
+// uniform scheme, k need not be a perfect square. splitThreshold ≤ 0
+// uses the default (see grid.AdaptiveOptions.SplitThreshold). Empty
+// relations fall back to the uniform default grid.
+func AdaptivePartitioning(rels []Relation, k int, splitThreshold float64) (*grid.Partitioning, error) {
+	if k <= 0 {
+		k = 64
+	}
+	sampler := estimate.NewSampler(0, 2013)
+	var sample []geom.Rect
+	seen := map[string]bool{}
+	for s, rel := range rels {
+		if seen[rel.Name] {
+			continue
+		}
+		seen[rel.Name] = true
+		rects := make([]geom.Rect, len(rel.Items))
+		for i, it := range rel.Items {
+			rects[i] = it.R
+		}
+		sample = append(sample, sampler.Sample(rects, adaptiveSampleStream+uint64(s))...)
+	}
+	if len(sample) == 0 {
+		return DefaultPartitioning(rels, 0)
+	}
+	return grid.NewAdaptive(sample, grid.AdaptiveOptions{
+		Target:         k,
+		SplitThreshold: splitThreshold,
+		Bounds:         dataBounds(rels),
+	})
+}
+
+// BuildPartitioning resolves a partition scheme to a concrete reducer
+// grid over the bound relations, the shared entry point of Execute,
+// Predict, the public Options and the join service's admission path —
+// so the partitioning EXPLAIN prices is the one the run uses.
+func BuildPartitioning(scheme PartitionScheme, rels []Relation, k int, splitThreshold float64) (*grid.Partitioning, error) {
+	if scheme == PartitionAdaptive {
+		return AdaptivePartitioning(rels, k, splitThreshold)
+	}
+	return DefaultPartitioning(rels, k)
+}

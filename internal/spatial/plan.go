@@ -36,10 +36,22 @@ type plan struct {
 	// indexThreshold is the slot size below which a linear scan beats
 	// building an index.
 	indexThreshold int
+	// rtreeThreshold is the dense-cell escalation point: at or above
+	// this many records a cell's plane sweep becomes R-tree probes and
+	// the matchers' bucket grid becomes an R-tree (0 never escalates —
+	// newPlan resolves Config's 0-means-default before storing it here).
+	rtreeThreshold int
 }
 
+// DefaultRTreeSweepThreshold is the per-cell record count at which
+// reducers switch from the plane sweep to a bulk-loaded R-tree when
+// Config.RTreeSweepThreshold is 0.
+const DefaultRTreeSweepThreshold = 256
+
 // newPlan validates the query/relation binding and builds the plan.
-func newPlan(q *query.Query, rels []Relation, distinct, useRTree bool) (*plan, error) {
+// rtreeThreshold follows Config.RTreeSweepThreshold semantics: 0 means
+// DefaultRTreeSweepThreshold, negative disables the escalation.
+func newPlan(q *query.Query, rels []Relation, distinct, useRTree bool, rtreeThreshold int) (*plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,7 +59,12 @@ func newPlan(q *query.Query, rels []Relation, distinct, useRTree bool) (*plan, e
 	if len(rels) != m {
 		return nil, fmt.Errorf("spatial: query has %d slots but %d relations were bound", m, len(rels))
 	}
-	pl := &plan{q: q, m: m, distinct: distinct, useRTree: useRTree, indexThreshold: 16}
+	if rtreeThreshold == 0 {
+		rtreeThreshold = DefaultRTreeSweepThreshold
+	} else if rtreeThreshold < 0 {
+		rtreeThreshold = 0
+	}
+	pl := &plan{q: q, m: m, distinct: distinct, useRTree: useRTree, indexThreshold: 16, rtreeThreshold: rtreeThreshold}
 
 	// Same-dataset groups, by relation name.
 	pl.sameDataset = make([][]bool, m)
@@ -236,13 +253,17 @@ func (pl *plan) compatible(si int, idI int32, sj int, idJ int32) bool {
 	return !pl.sameDataset[si][sj] || idI != idJ
 }
 
-// newIndex builds the configured reducer-local index over rects,
-// falling back to a linear scan below the threshold.
+// newIndex builds the configured reducer-local index over rects:
+// a linear scan below the index threshold, then the configured index,
+// escalated to the STR R-tree once the slot crosses the dense-cell
+// threshold (the bucket grid degrades when a skewed cell piles
+// thousands of rectangles into few buckets). All three report the same
+// match set, so the choice never changes emitted tuples.
 func (pl *plan) newIndex(rects []geom.Rect) index.Index {
 	if len(rects) < pl.indexThreshold {
 		return index.NewLinear(rects)
 	}
-	if pl.useRTree {
+	if pl.useRTree || (pl.rtreeThreshold > 0 && len(rects) >= pl.rtreeThreshold) {
 		return index.NewRTree(rects)
 	}
 	return index.NewGrid(rects)

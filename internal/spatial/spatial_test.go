@@ -59,7 +59,7 @@ func TestMarkCellFigure4(t *testing.T) {
 	part := grid2x2(t)
 	q := chain4()
 	rels := figure4Relations()
-	pl, err := newPlan(q, rels, true, false)
+	pl, err := newPlan(q, rels, true, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestMarkCellFullLocalTuple(t *testing.T) {
 		NewRelation("R2", []geom.Rect{{X: 12, Y: 88, L: 5, B: 5}}),
 		NewRelation("R3", []geom.Rect{{X: 14, Y: 86, L: 5, B: 5}}),
 	}
-	pl, err := newPlan(q, rels, true, false)
+	pl, err := newPlan(q, rels, true, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestMarkCellRangeEscape(t *testing.T) {
 		NewRelation("R1", []geom.Rect{a, b}),
 		NewRelation("R2", nil),
 	}
-	pl, err := newPlan(q, rels, true, false)
+	pl, err := newPlan(q, rels, true, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

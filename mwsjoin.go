@@ -123,11 +123,27 @@ func NewPartitioning(bounds Rect, rows, cols int) (*Partitioning, error) {
 // distinct rectangles per self-join slot, and the safe Chebyshev
 // replication-limit metric.
 type Options struct {
-	// Reducers is the reducer count (must be a perfect square);
-	// ignored when Partitioning is set. Default 64.
+	// Reducers is the reducer count (must be a perfect square for the
+	// uniform scheme; any positive count for adaptive); ignored when
+	// Partitioning is set. Default 64.
 	Reducers int
 	// Partitioning overrides the reducer grid entirely.
 	Partitioning *Partitioning
+	// Partition names the partitioning scheme used when Partitioning is
+	// nil: "uniform" (the paper's √k × √k grid, default) or "adaptive"
+	// (sample-driven: hot cells split recursively, cold rows/columns
+	// merge — balances reducer load under spatial skew). Results are
+	// bit-identical across schemes; only the cost profile changes.
+	Partition string
+	// SplitThreshold tunes the adaptive scheme's split capacity: a
+	// region splits while it holds more than SplitThreshold × (sample
+	// size / Reducers) sample points. ≤ 0 uses the default 1.0.
+	SplitThreshold float64
+	// RTreeSweepThreshold is the per-cell record count at which dense
+	// reducer cells switch from the plane sweep to probes of a
+	// bulk-loaded STR R-tree (0 = default 256, negative = never).
+	// Emitted tuples are identical either way.
+	RTreeSweepThreshold int
 	// Parallelism bounds concurrent map/reduce tasks (default:
 	// GOMAXPROCS).
 	Parallelism int
@@ -310,29 +326,36 @@ func buildConfig(rels []Relation, opts *Options) (spatial.Config, error) {
 	if opts != nil {
 		o = *opts
 	}
+	scheme, err := spatial.ParsePartitionScheme(o.Partition)
+	if err != nil {
+		return spatial.Config{}, err
+	}
 	cfg := spatial.Config{
-		Part:           o.Partitioning,
-		Parallelism:    o.Parallelism,
-		AllowSelfPairs: o.AllowSelfPairs,
-		UseRTree:       o.UseRTree,
-		MaxAttempts:    o.MaxAttempts,
-		FailMap:        o.FailMap,
-		FailReduce:     o.FailReduce,
-		FS:             o.FS,
-		FailJob:        o.FailJob,
-		Resume:         o.Resume,
-		Speculative:    o.Speculative,
-		SlowTask:       o.SlowTask,
-		Tracer:         o.Tracer,
-		Metrics:        o.Metrics,
-		OptimizeOrder:  o.OptimizeOrder,
-		CountOnly:      o.CountOnly,
+		Part:                o.Partitioning,
+		Scheme:              scheme,
+		SplitThreshold:      o.SplitThreshold,
+		RTreeSweepThreshold: o.RTreeSweepThreshold,
+		Parallelism:         o.Parallelism,
+		AllowSelfPairs:      o.AllowSelfPairs,
+		UseRTree:            o.UseRTree,
+		MaxAttempts:         o.MaxAttempts,
+		FailMap:             o.FailMap,
+		FailReduce:          o.FailReduce,
+		FS:                  o.FS,
+		FailJob:             o.FailJob,
+		Resume:              o.Resume,
+		Speculative:         o.Speculative,
+		SlowTask:            o.SlowTask,
+		Tracer:              o.Tracer,
+		Metrics:             o.Metrics,
+		OptimizeOrder:       o.OptimizeOrder,
+		CountOnly:           o.CountOnly,
 	}
 	if o.EuclideanLimit {
 		cfg.LimitMetric = grid.MetricEuclidean
 	}
 	if cfg.Part == nil && o.Reducers > 0 {
-		part, err := spatial.DefaultPartitioning(rels, o.Reducers)
+		part, err := spatial.BuildPartitioning(scheme, rels, o.Reducers, o.SplitThreshold)
 		if err != nil {
 			return spatial.Config{}, err
 		}
@@ -500,4 +523,16 @@ func QuantilePartitioning(rels []Relation, k int) (*Partitioning, error) {
 		}
 	}
 	return grid.NewQuantile(rects, side, side, Rect{})
+}
+
+// AdaptivePartitioning builds the skew-aware reducer grid the
+// "adaptive" partition scheme uses: a deterministic sample of each
+// relation drives quadtree-style splitting of hot regions, the splits
+// flatten into a rectilinear grid, and cold rows/columns merge until at
+// most k cells remain (k ≤ 0 uses 64; any positive k is allowed).
+// Pass the result via Options.Partitioning, or simply set
+// Options.Partition = "adaptive". Results are bit-identical to any
+// other partitioning; only reducer load balance changes.
+func AdaptivePartitioning(rels []Relation, k int) (*Partitioning, error) {
+	return spatial.AdaptivePartitioning(rels, k, 0)
 }

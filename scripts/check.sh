@@ -41,6 +41,16 @@ go test -race -count=1 \
     -run 'TestKillResumeEveryJobBoundary|TestKillResumeRandomizedWorkload|TestSpeculativeSpatialEquivalence' \
     ./internal/spatial
 
+echo "== adaptive-partition battery under -race (bit-identity, faults, kill/resume, 5x skew) =="
+# The skewed-workload equivalence battery: adaptive vs uniform tuple
+# identity across methods × parallelism, fault injection, kill/resume
+# at every chain boundary, per-cell R-tree-vs-sweep identity, and the
+# ≥5× max/median reducer-skew improvement; -count=1 defeats the cache.
+go test -race -count=1 \
+    -run 'TestAdaptiveUniformBitIdentical|TestAdaptiveFaultInjectionBitIdentical|TestAdaptiveKillResumeEveryBoundary|TestAdaptiveSkewImprovement|TestJoinSortedDenseMatchesSweep|TestCascadeRTreeEscalationBitIdentical' \
+    ./internal/spatial
+go test -race -count=1 -run 'TestBenchPR6Anchor' .
+
 echo "== join service e2e under -race (daemon on :0, submit→poll→result→cancel) =="
 # The daemon binds a free loopback port and the test drives the whole
 # lifecycle over real HTTP, asserting bit-identical stats vs a serial
@@ -54,6 +64,9 @@ go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
 
 echo "== fuzz (FuzzKeyRanker, 5s) =="
 go test -run='^$' -fuzz=FuzzKeyRanker -fuzztime=5s ./internal/mapreduce
+
+echo "== fuzz (FuzzRTreeProbe, 5s) =="
+go test -run='^$' -fuzz=FuzzRTreeProbe -fuzztime=5s ./internal/index
 
 echo "== shuffle pipeline bench smoke (1 iteration per benchmark) =="
 go test -run='^$' -bench . -benchtime=1x ./internal/mapreduce
