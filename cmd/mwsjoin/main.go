@@ -23,6 +23,13 @@
 // cooperatively at its next job boundary and the command exits with
 // status 3, distinguishing a deadline from a failure (status 1).
 //
+// -profile writes a structured post-run query profile (per-round
+// map/shuffle/reduce breakdown; "-" prints to stderr) and -trace-chrome
+// a Chrome trace-event timeline loadable in chrome://tracing. -ledger
+// appends each run's predicted-vs-actual per-phase costs to a
+// calibration ledger; -calibrate feeds the learned correction factors
+// back into every prediction (results are never affected).
+//
 // For a long-lived service answering many concurrent queries, see the
 // mwsjoind daemon.
 package main
@@ -129,6 +136,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		chkPath   = fs.String("checkpoint", "", "host file holding the simulated file-system snapshot: written when -fail-job kills the run, read by -resume")
 		specul    = fs.Bool("speculative", false, "race backup attempts for straggler tasks (Hadoop speculative execution); results are unchanged")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit); the execution stops at its next job boundary and the command exits with status 3")
+		profPath  = fs.String("profile", "", `write the structured query profile (per-round map/shuffle/reduce breakdown, skew, combiner and chain accounting) to this file after the run; "-" prints it to stderr`)
+		chromeOut = fs.String("trace-chrome", "", "write a Chrome trace-event JSON timeline of the execution to this file (load in chrome://tracing or Perfetto)")
+		ledgerOut = fs.String("ledger", "", "append a calibration-ledger entry (predicted vs actual per-phase costs, one JSON line) to this file; in -explain mode, one entry per method")
+		calibrate = fs.Bool("calibrate", false, "apply correction factors learned from the -ledger file to every cost prediction (query results are unchanged); requires -ledger")
 	)
 	fs.Var(rels, "rel", "slot binding <slot>=<file>; repeat once per slot")
 	if err := fs.Parse(args); err != nil {
@@ -139,6 +150,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *resume && *chkPath == "" {
 		return fmt.Errorf("-resume requires -checkpoint <file>")
+	}
+	if *calibrate && *ledgerOut == "" {
+		return fmt.Errorf("-calibrate requires -ledger <file>")
 	}
 
 	q, err := mwsjoin.ParseQuery(*queryText)
@@ -151,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var tracer *mwsjoin.Tracer
-	if *traceJSON != "" || *traceTree != "" {
+	if *traceJSON != "" || *traceTree != "" || *profPath != "" || *chromeOut != "" {
 		tracer = mwsjoin.NewTracer()
 	}
 	// The registry backs -serve, the -explain analyze runs, the
@@ -224,6 +238,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			opts.FS = mwsjoin.NewFileSystem()
 		}
 	}
+	if *calibrate {
+		entries, err := mwsjoin.ReadCalibrationLedger(*ledgerOut)
+		if err != nil {
+			return err
+		}
+		opts.Calibration = mwsjoin.Calibrate(entries)
+		fmt.Fprintf(stderr, "calibration: %d ledger entries, %d learned factors\n", len(entries), len(opts.Calibration.Factors))
+	}
+	var ledger *mwsjoin.CalibrationLedger
+	if *ledgerOut != "" {
+		ledger = mwsjoin.OpenCalibrationLedger(*ledgerOut)
+	}
 
 	// The timeout rides on the engine's cooperative cancellation: the
 	// deadline is noticed at the next chain-job boundary or task
@@ -239,7 +265,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var res *mwsjoin.Result
 	if *explain {
-		if err := runExplain(ctx, q, bound, opts, stdout); err != nil {
+		if err := runExplain(ctx, q, bound, opts, ledger, stdout); err != nil {
 			return err
 		}
 	} else {
@@ -267,6 +293,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	err = exportTrace(tracer, *chromeOut, func(tr *mwsjoin.Tracer, w io.Writer) error {
+		return mwsjoin.WriteChromeTrace(w, tr.Spans())
+	})
+	if err != nil {
+		return err
+	}
+	if res != nil {
+		// The ledger records the RAW prediction next to the measured
+		// costs — calibrated predictions would compound the factors on
+		// the next Calibrate.
+		if ledger != nil {
+			rawOpts := opts
+			rawOpts.Calibration = nil
+			pred, err := mwsjoin.Predict(q, bound, m, &rawOpts)
+			if err != nil {
+				return err
+			}
+			if err := ledger.Append(mwsjoin.NewCalibrationEntry(q, pred, &res.Stats)); err != nil {
+				return err
+			}
+		}
+		if *profPath != "" {
+			prof := mwsjoin.BuildProfile(q, &res.Stats, tracer.Spans())
+			if *profPath == "-" {
+				if err := prof.WriteText(stderr); err != nil {
+					return err
+				}
+			} else {
+				f, err := os.Create(*profPath)
+				if err != nil {
+					return err
+				}
+				if err := prof.WriteText(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	if testAfterRun != nil {
 		testAfterRun(boundAddr, res)
@@ -335,8 +403,10 @@ var explainMethods = []mwsjoin.Method{
 
 // runExplain predicts each method's §7.8.3 cost figures from samples,
 // measures the actuals with CountOnly runs, and prints the
-// predicted-vs-actual table with relative errors.
-func runExplain(ctx context.Context, q *mwsjoin.Query, rels []mwsjoin.Relation, opts mwsjoin.Options, stdout io.Writer) error {
+// predicted-vs-actual table with relative errors. With a ledger, each
+// method's RAW prediction is appended next to its measured costs (the
+// table still shows the calibrated prediction when -calibrate is on).
+func runExplain(ctx context.Context, q *mwsjoin.Query, rels []mwsjoin.Relation, opts mwsjoin.Options, ledger *mwsjoin.CalibrationLedger, stdout io.Writer) error {
 	w := bufio.NewWriter(stdout)
 	fmt.Fprintf(w, "%-14s %7s %42s %42s %42s\n", "", "", "intermediate pairs", "rect copies to join round", "output tuples")
 	fmt.Fprintf(w, "%-14s %7s %14s %14s %12s %14s %14s %12s %14s %14s %12s\n",
@@ -353,6 +423,17 @@ func runExplain(ctx context.Context, q *mwsjoin.Query, rels []mwsjoin.Relation, 
 			return err
 		}
 		s := res.Stats
+		if ledger != nil {
+			rawOpts := opts
+			rawOpts.Calibration = nil
+			raw, err := mwsjoin.Predict(q, rels, m, &rawOpts)
+			if err != nil {
+				return err
+			}
+			if err := ledger.Append(mwsjoin.NewCalibrationEntry(q, raw, &s)); err != nil {
+				return err
+			}
+		}
 		fmt.Fprintf(w, "%-14v %7d %14.0f %14d %12s %14.0f %14d %12s %14.0f %14d %12s\n",
 			m, pred.Rounds,
 			pred.Pairs, s.IntermediatePairs(), relErr(pred.Pairs, s.IntermediatePairs()),

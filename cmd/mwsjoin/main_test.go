@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -158,5 +159,93 @@ func TestTimeoutFlag(t *testing.T) {
 	err = run(append(append([]string{}, base...), "-explain", "-timeout", "1ns"), &out, &errOut)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("-explain with an expired -timeout: %v", err)
+	}
+}
+
+// TestProfileCalibrateFlags drives the observability flags end to end:
+// -profile writes the text profile (file or stderr), -trace-chrome a
+// schema-valid Chrome trace, -ledger appends predicted-vs-actual
+// entries, and -calibrate feeds them back without changing any tuple.
+func TestProfileCalibrateFlags(t *testing.T) {
+	dir := t.TempDir()
+	r1 := writeRects(t, "r1.csv", []mwsjoin.Rect{
+		{X: 0, Y: 10, L: 4, B: 4},
+		{X: 3, Y: 9, L: 4, B: 4},
+		{X: 50, Y: 50, L: 2, B: 2},
+	})
+	r2 := writeRects(t, "r2.csv", []mwsjoin.Rect{
+		{X: 2, Y: 9, L: 4, B: 4},
+		{X: 49, Y: 49, L: 4, B: 4},
+	})
+	profPath := filepath.Join(dir, "profile.txt")
+	chromePath := filepath.Join(dir, "trace.json")
+	ledgerPath := filepath.Join(dir, "ledger.jsonl")
+	base := []string{"-query", "A ov B", "-rel", "A=" + r1, "-rel", "B=" + r2, "-reducers", "4"}
+
+	var out, errOut strings.Builder
+	err := run(append(append([]string{}, base...),
+		"-profile", profPath, "-trace-chrome", chromePath, "-ledger", ledgerPath), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := out.String()
+
+	prof, err := os.ReadFile(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`profile c-rep-l "A ov B"`, "round 1", "map", "shuffle", "reduce", "dfs"} {
+		if !strings.Contains(string(prof), want) {
+			t.Errorf("-profile output missing %q:\n%s", want, prof)
+		}
+	}
+	chrome, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mwsjoin.ValidateChromeTrace(chrome); err != nil {
+		t.Errorf("-trace-chrome output fails schema validation: %v", err)
+	}
+	entries, err := mwsjoin.ReadCalibrationLedger(ledgerPath)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("ledger after first run: %d entries, %v", len(entries), err)
+	}
+	if entries[0].Method != "c-rep-l" || entries[0].Actual.Tuples <= 0 {
+		t.Errorf("ledger entry = %+v", entries[0])
+	}
+
+	// Calibrated re-run: identical tuples, one more ledger entry, and
+	// -profile - goes to stderr.
+	out.Reset()
+	errOut.Reset()
+	err = run(append(append([]string{}, base...),
+		"-ledger", ledgerPath, "-calibrate", "-profile", "-"), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != baseline {
+		t.Errorf("-calibrate changed the tuples:\n got %q\nwant %q", out.String(), baseline)
+	}
+	if !strings.Contains(errOut.String(), "calibration:") || !strings.Contains(errOut.String(), `profile c-rep-l "A ov B"`) {
+		t.Errorf("stderr missing calibration banner or inline profile:\n%s", errOut.String())
+	}
+	if entries, err = mwsjoin.ReadCalibrationLedger(ledgerPath); err != nil || len(entries) != 2 {
+		t.Fatalf("ledger after calibrated run: %d entries, %v", len(entries), err)
+	}
+
+	// -explain appends one raw entry per method.
+	out.Reset()
+	errOut.Reset()
+	explainLedger := filepath.Join(dir, "explain.jsonl")
+	if err := run(append(append([]string{}, base...), "-explain", "-ledger", explainLedger), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err = mwsjoin.ReadCalibrationLedger(explainLedger); err != nil || len(entries) != 4 {
+		t.Fatalf("-explain ledger: %d entries, %v; want one per method", len(entries), err)
+	}
+
+	// -calibrate without -ledger is a usage error.
+	if err := run(append(append([]string{}, base...), "-calibrate"), &out, &errOut); err == nil {
+		t.Error("-calibrate without -ledger unexpectedly succeeded")
 	}
 }

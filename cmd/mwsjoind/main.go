@@ -16,9 +16,20 @@
 //	GET    /v1/jobs                list all jobs
 //	GET    /v1/jobs/{id}           state (queued|running|done|failed|cancelled) + progress + stats
 //	GET    /v1/jobs/{id}/result    paginated result tuples (?offset=&limit=)
+//	GET    /v1/jobs/{id}/profile   structured execution profile of a done job
+//	GET    /v1/jobs/{id}/trace     Chrome trace-event JSON (chrome://tracing, Perfetto)
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	GET    /v1/relations           registered relations with content fingerprints
-//	GET    /metrics                Prometheus text (server_*, mapreduce_*, dfs_*, spatial_*)
+//	GET    /v1/slowlog             slow-query log (top-N jobs by end-to-end latency)
+//	GET    /v1/status              version, go version, uptime, job/state counts
+//	GET    /metrics                Prometheus text (server_*, server_slo_*, mapreduce_*, dfs_*, spatial_*)
+//
+// -ledger appends every executed job's predicted-vs-actual per-phase
+// costs to a calibration ledger file; with -calibrate the daemon prices
+// admission with correction factors learned from that ledger (loaded at
+// startup, refreshed as jobs complete). Calibration never changes query
+// results — only the predicted costs the scheduler orders and throttles
+// by.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: submissions are
 // rejected, queued jobs are cancelled, running jobs get -drain to
@@ -45,6 +56,11 @@ import (
 	"mwsjoin/internal/server"
 	"mwsjoin/internal/spatial"
 )
+
+// version identifies the build on /v1/status and the
+// server_build_info_* gauge; override at build time with
+// -ldflags "-X main.version=v1.2.3".
+var version = "dev"
 
 // testAfterStart, when set by tests, receives the bound listen address
 // and a stop function (equivalent to SIGTERM) once the daemon is
@@ -97,6 +113,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		splitThr   = fs.Float64("split-threshold", 0, "adaptive-partition split capacity factor (0 = default 1.0)")
 		parallel   = fs.Int("parallelism", 0, "per-job concurrent task bound; 0 = GOMAXPROCS")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for running jobs and in-flight HTTP requests")
+		ledger     = fs.String("ledger", "", "calibration-ledger file: every executed job appends its predicted-vs-actual per-phase costs (one JSON line)")
+		calibrate  = fs.Bool("calibrate", false, "price admission with correction factors learned from the -ledger file; requires -ledger, never changes query results")
+		slowlogN   = fs.Int("slowlog", server.DefaultSlowlogSize, "slow-query log size (top-N jobs by end-to-end latency on /v1/slowlog); negative disables")
 	)
 	fs.Var(rels, "rel", "relation binding <name>=<file>; repeat once per relation")
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +123,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if len(rels.names) == 0 {
 		return fmt.Errorf("at least one -rel <name>=<file> is required")
+	}
+	if *calibrate && *ledger == "" {
+		return fmt.Errorf("-calibrate requires -ledger <file>")
 	}
 
 	reg := metrics.NewRegistry()
@@ -121,7 +143,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		SplitThreshold: *splitThr,
 		Parallelism:    *parallel,
 		Metrics:        reg,
+		Version:        version,
+		SlowlogSize:    *slowlogN,
+		LedgerPath:     *ledger,
+		Calibrate:      *calibrate,
 	})
+	if *ledger != "" {
+		mode := "recording"
+		if *calibrate {
+			mode = "recording + calibrated admission"
+		}
+		fmt.Fprintf(stderr, "mwsjoind: calibration ledger %s (%s)\n", *ledger, mode)
+	}
 	for _, name := range rels.names {
 		rel, err := mwsjoin.ReadRelationFile(name, rels.files[name])
 		if err != nil {

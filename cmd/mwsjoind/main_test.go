@@ -278,3 +278,156 @@ func TestDaemonFlagErrors(t *testing.T) {
 		t.Error("daemon started with a missing dataset file")
 	}
 }
+
+// TestDaemonObservabilityEndToEnd boots the daemon with profiling and
+// calibration enabled and drives the observability surface over real
+// HTTP: the execution profile and Chrome trace of a done job, the
+// slowlog, /v1/status identity (version, go version, uptime), the SLO
+// and uptime/build-info metrics, and the calibration ledger growing as
+// jobs complete — all without calibration changing a single tuple.
+func TestDaemonObservabilityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	pathA, relA := writeTestRelation(t, dir, "A", 1500, 11)
+	pathB, relB := writeTestRelation(t, dir, "B", 1500, 12)
+	ledgerPath := filepath.Join(dir, "ledger.jsonl")
+
+	type startInfo struct {
+		addr string
+		stop func()
+	}
+	started := make(chan startInfo, 1)
+	testAfterStart = func(addr string, stop func()) { started <- startInfo{addr, stop} }
+	defer func() { testAfterStart = nil }()
+
+	runErr := make(chan error, 1)
+	var errBuf bytes.Buffer
+	go func() {
+		runErr <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-rel", "A=" + pathA, "-rel", "B=" + pathB,
+			"-workers", "1", "-reducers", "16", "-parallelism", "4",
+			"-ledger", ledgerPath, "-calibrate", "-slowlog", "8",
+			"-drain", "30s",
+		}, io.Discard, &errBuf)
+	}()
+	var info startInfo
+	select {
+	case info = <-started:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before serving: %v\n%s", err, errBuf.String())
+	}
+	a := api{t: t, base: "http://" + info.addr}
+
+	waitDone := func(id string) server.JobStatus {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			var st server.JobStatus
+			a.json("GET", "/v1/jobs/"+id, nil, &st, http.StatusOK)
+			if st.State == server.StateDone {
+				return st
+			}
+			if st.State != server.StateQueued && st.State != server.StateRunning {
+				t.Fatalf("job %s reached %s: %s", id, st.State, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var sub server.JobStatus
+	a.json("POST", "/v1/jobs", server.SubmitRequest{Query: "A ov B", Method: "c-rep"}, &sub, http.StatusAccepted)
+	done := waitDone(sub.ID)
+	if !done.HasProfile || done.E2EUS <= 0 {
+		t.Errorf("done job status lacks observability fields: %+v", done)
+	}
+
+	// Profile: counters must reconcile with the served stats.
+	var prof mwsjoin.Profile
+	a.json("GET", "/v1/jobs/"+sub.ID+"/profile", nil, &prof, http.StatusOK)
+	if prof.Method != "c-rep" || prof.OutputTuples != done.OutputTuples ||
+		prof.IntermediatePairs != done.Stats.IntermediatePairs() || len(prof.Rounds) == 0 {
+		t.Errorf("served profile %+v diverges from job stats", prof)
+	}
+
+	// Chrome trace: must pass the schema validator.
+	status, chromeBody := a.do("GET", "/v1/jobs/"+sub.ID+"/trace", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/trace status %d: %s", status, chromeBody)
+	}
+	if err := mwsjoin.ValidateChromeTrace(chromeBody); err != nil {
+		t.Errorf("served Chrome trace fails validation: %v", err)
+	}
+
+	// Slowlog: the executed job, with a pointer to its profile.
+	var slow []server.SlowlogEntry
+	a.json("GET", "/v1/slowlog", nil, &slow, http.StatusOK)
+	if len(slow) != 1 || slow[0].ID != sub.ID || slow[0].Profile == "" {
+		t.Errorf("slowlog = %+v", slow)
+	}
+
+	// Status: build identity and live snapshot.
+	var svc server.ServiceStatus
+	a.json("GET", "/v1/status", nil, &svc, http.StatusOK)
+	if svc.Version != "dev" || !strings.HasPrefix(svc.GoVersion, "go") {
+		t.Errorf("status identity = %q/%q", svc.Version, svc.GoVersion)
+	}
+	if svc.UptimeSeconds < 0 || !svc.Calibrate || svc.CalibrationEntries != 1 {
+		t.Errorf("status snapshot = %+v", svc)
+	}
+
+	// Metrics: SLO histograms, uptime gauge and build info.
+	_, metricsBody := a.do("GET", "/metrics", nil)
+	for _, want := range []string{
+		"server_slo_queue_wait_us", "server_slo_exec_us", "server_slo_e2e_us",
+		"server_uptime_seconds", "server_build_info_dev 1",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// A cache hit has no profile (409) and no slowlog entry.
+	var hit server.JobStatus
+	a.json("POST", "/v1/jobs", server.SubmitRequest{Query: "A ov B", Method: "c-rep"}, &hit, http.StatusOK)
+	if !hit.Cached {
+		t.Fatalf("repeat submission missed the cache: %+v", hit)
+	}
+	if status, body := a.do("GET", "/v1/jobs/"+hit.ID+"/profile", nil); status != http.StatusConflict {
+		t.Errorf("profile of cached job: status %d: %s", status, body)
+	}
+
+	// A second distinct query grows the ledger; calibrated admission
+	// still serves tuples bit-identical to a serial uncalibrated run.
+	var sub2 server.JobStatus
+	a.json("POST", "/v1/jobs", server.SubmitRequest{Query: "B ov A", Method: "c-rep-l"}, &sub2, http.StatusAccepted)
+	done2 := waitDone(sub2.ID)
+	q, err := mwsjoin.ParseQuery("B ov A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mwsjoin.Run(q, []mwsjoin.Relation{relB, relA}, mwsjoin.ControlledReplicateLimit,
+		&mwsjoin.Options{Reducers: 16, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2.OutputTuples != want.Stats.OutputTuples {
+		t.Errorf("calibrated daemon run: %d tuples, serial run %d", done2.OutputTuples, want.Stats.OutputTuples)
+	}
+	entries, err := mwsjoin.ReadCalibrationLedger(ledgerPath)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ledger: %d entries, %v; want 2", len(entries), err)
+	}
+
+	info.stop()
+	if err := <-runErr; err != nil {
+		t.Fatalf("daemon shutdown: %v\n%s", err, errBuf.String())
+	}
+
+	// Usage error: -calibrate without -ledger.
+	if err := run([]string{"-rel", "A=" + pathA, "-listen", "127.0.0.1:0", "-calibrate"}, io.Discard, io.Discard); err == nil {
+		t.Error("-calibrate without -ledger unexpectedly started")
+	}
+}

@@ -1,0 +1,180 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"mwsjoin/internal/spatial"
+)
+
+// PhaseCosts is one side (predicted or actual) of a ledger entry: the
+// per-phase cost figures the EXPLAIN predictor estimates and the
+// executed Stats measure. Actual values are exact integers widened to
+// float64 so the two sides are directly comparable.
+type PhaseCosts struct {
+	// RoundPairs is the per-job shuffled pair count, in execution
+	// order (Prediction.RoundPairs vs Stats.Rounds[i].IntermediatePairs).
+	RoundPairs []float64 `json:"round_pairs,omitempty"`
+	// Pairs is the total (Prediction.Pairs vs Stats.IntermediatePairs()).
+	Pairs float64 `json:"pairs"`
+	// Replicated counts rectangles chosen for replication
+	// (Prediction.Replicated vs Stats.RectanglesReplicated).
+	Replicated float64 `json:"replicated"`
+	// Copies counts rectangle copies shipped to the join round
+	// (Prediction.Copies vs Stats.RectanglesAfterReplication).
+	Copies float64 `json:"copies"`
+	// Tuples is the output cardinality (Prediction.Tuples vs
+	// Stats.OutputTuples).
+	Tuples float64 `json:"tuples"`
+}
+
+// LedgerEntry records one query's predicted-vs-actual phase costs —
+// one line of the calibration ledger.
+type LedgerEntry struct {
+	Query     string     `json:"query"`
+	Method    string     `json:"method"`
+	Cells     int        `json:"cells"`
+	Predicted PhaseCosts `json:"predicted"`
+	Actual    PhaseCosts `json:"actual"`
+}
+
+// NewLedgerEntry pairs an (uncalibrated) prediction with the executed
+// Stats, field-for-field: each Predicted member's Actual counterpart
+// is the Stats field the Prediction doc comments name.
+func NewLedgerEntry(queryText string, pred *spatial.Prediction, st *spatial.Stats) LedgerEntry {
+	e := LedgerEntry{
+		Query:  queryText,
+		Method: pred.Method.String(),
+		Cells:  pred.Cells,
+		Predicted: PhaseCosts{
+			RoundPairs: append([]float64(nil), pred.RoundPairs...),
+			Pairs:      pred.Pairs,
+			Replicated: pred.Replicated,
+			Copies:     pred.Copies,
+			Tuples:     pred.Tuples,
+		},
+		Actual: PhaseCosts{
+			Pairs:      float64(st.IntermediatePairs()),
+			Replicated: float64(st.RectanglesReplicated),
+			Copies:     float64(st.RectanglesAfterReplication),
+			Tuples:     float64(st.OutputTuples),
+		},
+	}
+	for _, r := range st.Rounds {
+		e.Actual.RoundPairs = append(e.Actual.RoundPairs, float64(r.IntermediatePairs))
+	}
+	return e
+}
+
+// Ledger is the persistent calibration ledger: JSON lines on the real
+// file system, appended once per executed query. Append is safe for
+// concurrent use within a process; the file is opened O_APPEND per
+// write so multiple daemons sharing a ledger interleave whole lines.
+type Ledger struct {
+	path string
+	mu   sync.Mutex
+}
+
+// OpenLedger returns a ledger writing to path. The file is created on
+// first Append.
+func OpenLedger(path string) *Ledger { return &Ledger{path: path} }
+
+// Path returns the ledger's file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Append writes one entry as a JSON line.
+func (l *Ledger) Append(e LedgerEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("profile: encode ledger entry: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("profile: open ledger: %w", err)
+	}
+	_, werr := f.Write(append(b, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("profile: append ledger: %w", werr)
+	}
+	return nil
+}
+
+// ReadLedger loads every entry of a ledger file; a missing file is an
+// empty ledger, not an error.
+func ReadLedger(path string) ([]LedgerEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	} else if err != nil {
+		return nil, fmt.Errorf("profile: open ledger: %w", err)
+	}
+	defer f.Close()
+	var out []LedgerEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e LedgerEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("profile: ledger %s line %d: %w", path, len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profile: read ledger: %w", err)
+	}
+	return out, nil
+}
+
+// Calibrate derives per-method/per-phase multiplicative correction
+// factors from a ledger: for each (method, phase field) the factor is
+// the geometric mean of actual/predicted over the entries where both
+// sides are positive — the estimator in log space that minimizes mean
+// squared log-ratio error, so consistent over- or under-prediction is
+// corrected exactly and mixed residuals average out. Entries whose
+// method no longer parses are skipped. With no usable entries the
+// returned calibration is the identity.
+func Calibrate(entries []LedgerEntry) *spatial.Calibration {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	add := func(m spatial.Method, field string, pred, actual float64) {
+		if pred <= 0 || actual <= 0 {
+			return
+		}
+		k := spatial.CalibrationKey(m, field)
+		sums[k] += math.Log(actual / pred)
+		counts[k]++
+	}
+	for _, e := range entries {
+		m, err := spatial.ParseMethod(e.Method)
+		if err != nil {
+			continue
+		}
+		for i, p := range e.Predicted.RoundPairs {
+			if i < len(e.Actual.RoundPairs) {
+				add(m, fmt.Sprintf("round%d", i), p, e.Actual.RoundPairs[i])
+			}
+		}
+		add(m, "pairs", e.Predicted.Pairs, e.Actual.Pairs)
+		add(m, "replicated", e.Predicted.Replicated, e.Actual.Replicated)
+		add(m, "copies", e.Predicted.Copies, e.Actual.Copies)
+		add(m, "tuples", e.Predicted.Tuples, e.Actual.Tuples)
+	}
+	cal := &spatial.Calibration{Factors: make(map[string]float64, len(sums))}
+	for k, sum := range sums {
+		cal.Factors[k] = math.Exp(sum / float64(counts[k]))
+	}
+	return cal
+}

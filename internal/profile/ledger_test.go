@@ -1,0 +1,205 @@
+package profile
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mwsjoin/internal/mapreduce"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/spatial"
+)
+
+// TestLedgerRoundTrip: Append writes JSON lines that ReadLedger
+// restores exactly; a missing ledger reads as empty.
+func TestLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if got, err := ReadLedger(path); err != nil || got != nil {
+		t.Fatalf("missing ledger = %v, %v; want nil, nil", got, err)
+	}
+	l := OpenLedger(path)
+	entries := []LedgerEntry{
+		{Query: "A ov B", Method: "c-rep", Cells: 64,
+			Predicted: PhaseCosts{RoundPairs: []float64{100.5, 200}, Pairs: 300.5, Replicated: 10, Copies: 210, Tuples: 42},
+			Actual:    PhaseCosts{RoundPairs: []float64{110, 190}, Pairs: 300, Replicated: 12, Copies: 200, Tuples: 40}},
+		{Query: "A ov B and B ov C", Method: "all-replicate", Cells: 16,
+			Predicted: PhaseCosts{RoundPairs: []float64{500}, Pairs: 500, Replicated: 300, Copies: 500, Tuples: 7},
+			Actual:    PhaseCosts{RoundPairs: []float64{480}, Pairs: 480, Replicated: 300, Copies: 480, Tuples: 7}},
+	}
+	for _, e := range entries {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, entries)
+	}
+}
+
+// TestCalibrateFactors: the factor for each (method, phase) key is the
+// geometric mean of actual/predicted, and unusable sides are skipped.
+func TestCalibrateFactors(t *testing.T) {
+	entries := []LedgerEntry{
+		{Method: "c-rep", Predicted: PhaseCosts{RoundPairs: []float64{100}, Pairs: 100, Tuples: 10}, Actual: PhaseCosts{RoundPairs: []float64{200}, Pairs: 200, Tuples: 10}},
+		{Method: "c-rep", Predicted: PhaseCosts{RoundPairs: []float64{100}, Pairs: 100, Tuples: 0}, Actual: PhaseCosts{RoundPairs: []float64{800}, Pairs: 800, Tuples: 5}},
+		{Method: "no-such-method", Predicted: PhaseCosts{Pairs: 1}, Actual: PhaseCosts{Pairs: 100}},
+	}
+	cal := Calibrate(entries)
+	// Geometric mean of 2× and 8× is 4×.
+	if f := cal.Factor(spatial.ControlledReplicate, "pairs"); math.Abs(f-4) > 1e-9 {
+		t.Errorf("pairs factor = %v, want 4", f)
+	}
+	if f := cal.Factors[spatial.CalibrationKey(spatial.ControlledReplicate, "round0")]; math.Abs(f-4) > 1e-9 {
+		t.Errorf("round0 factor = %v, want 4", f)
+	}
+	// The zero-tuples entry contributes nothing to the tuples factor.
+	if f := cal.Factor(spatial.ControlledReplicate, "tuples"); math.Abs(f-1) > 1e-9 {
+		t.Errorf("tuples factor = %v, want 1 (single ratio of 1)", f)
+	}
+	// Unknown methods are skipped entirely.
+	for k := range cal.Factors {
+		if k[:2] == "no" {
+			t.Errorf("unknown method leaked into factors: %s", k)
+		}
+	}
+	// Identity on an empty ledger.
+	if f := Calibrate(nil).Factor(spatial.Cascade, "pairs"); f != 1 {
+		t.Errorf("empty calibration factor = %v, want 1", f)
+	}
+}
+
+// logErr is the per-phase error metric: |log(predicted/actual)| summed
+// over every phase field with both sides positive. Relative error in
+// log space, so 2× over- and under-prediction weigh equally.
+func logErr(pred *spatial.Prediction, a PhaseCosts) float64 {
+	var sum float64
+	add := func(p, act float64) {
+		if p > 0 && act > 0 {
+			sum += math.Abs(math.Log(p / act))
+		}
+	}
+	for i, p := range pred.RoundPairs {
+		if i < len(a.RoundPairs) {
+			add(p, a.RoundPairs[i])
+		}
+	}
+	add(pred.Replicated, a.Replicated)
+	add(pred.Copies, a.Copies)
+	add(pred.Tuples, a.Tuples)
+	return sum
+}
+
+// TestCalibrationTightensPrediction is the acceptance criterion: on a
+// fixed two-workload suite, per-phase relative error after applying
+// the ledger-derived calibration is strictly lower than uncalibrated
+// for every map-reduce method — and calibration changes no query
+// results.
+func TestCalibrationTightensPrediction(t *testing.T) {
+	q := query.New("R1", "R2", "R3").Overlap(0, 1).Range(1, 2, 40)
+	workloads := [][]spatial.Relation{
+		testRelations(31, 3, 260, 1000, 60),
+		testRelations(32, 3, 180, 800, 45),
+	}
+	ledger := OpenLedger(filepath.Join(t.TempDir(), "calib.jsonl"))
+
+	type run struct {
+		pred   *spatial.Prediction
+		actual PhaseCosts
+	}
+	runs := make(map[spatial.Method][]run)
+	for _, rels := range workloads {
+		for _, m := range testMethods {
+			pred, err := spatial.Predict(m, q, rels, spatial.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := spatial.Execute(m, q, rels, spatial.Config{CountOnly: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewLedgerEntry(q.String(), pred, &res.Stats)
+			if err := ledger.Append(e); err != nil {
+				t.Fatal(err)
+			}
+			runs[m] = append(runs[m], run{pred: pred, actual: e.Actual})
+		}
+	}
+
+	entries, err := ReadLedger(ledger.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2*len(testMethods) {
+		t.Fatalf("ledger has %d entries, want %d", len(entries), 2*len(testMethods))
+	}
+	cal := Calibrate(entries)
+
+	for _, m := range testMethods {
+		var pre, post float64
+		for _, r := range runs[m] {
+			pre += logErr(r.pred, r.actual)
+			post += logErr(cal.Apply(r.pred), r.actual)
+		}
+		// Regression guard: the uncalibrated predictor must actually be
+		// off on this suite (otherwise "strictly lower" is vacuous), and
+		// calibration must strictly tighten it.
+		if pre < 0.01 {
+			t.Errorf("%v: uncalibrated error %.4f too small for a meaningful test", m, pre)
+		}
+		if post >= pre {
+			t.Errorf("%v: calibration did not tighten prediction: pre %.4f, post %.4f", m, pre, post)
+		}
+	}
+
+	// A calibrated Predict must price with the learned factors...
+	rels := workloads[0]
+	for _, m := range testMethods {
+		raw, err := spatial.Predict(m, q, rels, spatial.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calibrated, err := spatial.Predict(m, q, rels, spatial.Config{Calibration: cal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(calibrated, cal.Apply(raw)) {
+			t.Errorf("%v: Predict(Calibration) != Apply(Predict())", m)
+		}
+	}
+	// ...while execution results stay bit-identical with calibration on.
+	for _, m := range testMethods {
+		plain, err := spatial.Execute(m, q, rels, spatial.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calibrated, err := spatial.Execute(m, q, rels, spatial.Config{Calibration: cal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.Tuples, calibrated.Tuples) || !reflect.DeepEqual(plain.Stats, statsNoWall(calibrated.Stats, plain.Stats)) {
+			t.Errorf("%v: enabling calibration changed execution results", m)
+		}
+	}
+}
+
+// statsNoWall copies wall fields from want into got so the comparison
+// covers every deterministic field.
+func statsNoWall(got, want spatial.Stats) spatial.Stats {
+	got.Wall = want.Wall
+	rounds := make([]*mapreduce.Stats, len(got.Rounds))
+	for i, r := range got.Rounds {
+		cp := *r
+		if i < len(want.Rounds) {
+			w := want.Rounds[i]
+			cp.MapWall, cp.ReduceWall, cp.TotalWall = w.MapWall, w.ReduceWall, w.TotalWall
+		}
+		rounds[i] = &cp
+	}
+	got.Rounds = rounds
+	return got
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 
 	"mwsjoin/internal/metrics"
+	"mwsjoin/internal/profile"
 )
 
 // NewHandler mounts the service's JSON API:
@@ -15,15 +17,20 @@ import (
 //	GET    /v1/jobs           list all jobs   → 200 [JobStatus]
 //	GET    /v1/jobs/{id}      job status      → 200 JobStatus
 //	GET    /v1/jobs/{id}/result?offset=&limit=  paginated tuples → 200 ResultPage
+//	GET    /v1/jobs/{id}/profile  execution profile → 200 profile.Profile
+//	GET    /v1/jobs/{id}/trace    Chrome trace-event JSON → 200
 //	DELETE /v1/jobs/{id}      cancel          → 200 JobStatus
 //	GET    /v1/relations      registered data → 200 [RelationInfo]
+//	GET    /v1/slowlog        slow-query log  → 200 [SlowlogEntry]
+//	GET    /v1/status         service status  → 200 ServiceStatus
 //
 // plus the observability surface of metrics.NewServeMux (/metrics,
-// /debug/vars, /debug/pprof/*, /progress) when reg is non-nil. Errors
+// /debug/vars, /debug/pprof/*, /progress) when reg is non-nil; scraping
+// any of those paths refreshes the server_uptime_seconds gauge. Errors
 // are JSON envelopes {"error": {"code", "message"}}: 400 for malformed
 // requests, 404 for unknown jobs, 409 for state conflicts (no result
-// yet, cancel after finish), 429 with Retry-After for admission
-// rejections, 503 when draining.
+// yet, no profile yet, cancel after finish), 429 with Retry-After for
+// admission rejections, 503 when draining.
 func NewHandler(s *Server, reg *metrics.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -81,13 +88,42 @@ func NewHandler(s *Server, reg *metrics.Registry) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", func(w http.ResponseWriter, r *http.Request) {
+		p, err := s.Profile(r.PathValue("id"))
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans, err := s.TraceSpans(r.PathValue("id"))
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		profile.WriteChromeTrace(w, spans) //nolint:errcheck // best-effort over HTTP
+	})
 	mux.HandleFunc("GET /v1/relations", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Relations())
 	})
+	mux.HandleFunc("GET /v1/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Slowlog())
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.StatusInfo())
+	})
 	if reg != nil {
 		obs := metrics.NewServeMux(reg, nil)
+		// Wrap the scrape surface so every scrape sees a fresh uptime
+		// gauge (a plain gauge would freeze at its last Set).
+		wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			reg.Gauge("server_uptime_seconds").Set(int64(time.Since(s.start).Seconds()))
+			obs.ServeHTTP(w, r)
+		})
 		for _, p := range []string{"/metrics", "/debug/vars", "/debug/pprof/", "/progress"} {
-			mux.Handle(p, obs)
+			mux.Handle(p, wrapped)
 		}
 	}
 	return mux
@@ -141,6 +177,8 @@ func writeJobError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusConflict, "no_result", err.Error())
 	case errors.Is(err, ErrJobFinished):
 		writeError(w, http.StatusConflict, "already_finished", err.Error())
+	case errors.Is(err, ErrNoProfile):
+		writeError(w, http.StatusConflict, "no_profile", err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}

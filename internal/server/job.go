@@ -2,8 +2,10 @@ package server
 
 import (
 	"context"
+	"time"
 
 	"mwsjoin/internal/grid"
+	"mwsjoin/internal/profile"
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/spatial"
 	"mwsjoin/internal/trace"
@@ -43,10 +45,19 @@ type Job struct {
 	// priority run first, and the in-flight cost budget throttles on it.
 	cost   float64
 	rounds int // predicted chain length, the progress denominator
-	key    cacheKey
+	// rawPred is the UNCALIBRATED prediction, kept for the calibration
+	// ledger (cost above may carry learned correction factors).
+	rawPred *spatial.Prediction
+	key     cacheKey
 	// part is the reducer grid, computed once at admission so Predict
 	// and Execute cost the same plan.
 	part *grid.Partitioning
+
+	// SLO timestamps: queuedAt at admission, startedAt when a worker
+	// claims the job, finishedAt at the terminal transition.
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -58,6 +69,9 @@ type Job struct {
 	res         *spatial.Result
 	err         error
 	tracer      *trace.Tracer
+	// prof is the execution profile, assembled from the tracer and the
+	// result stats when the job completes successfully.
+	prof *profile.Profile
 	// done is closed when the job reaches a terminal state.
 	done chan struct{}
 }
@@ -85,6 +99,14 @@ type JobStatus struct {
 	OutputTuples int64          `json:"output_tuples"`
 	Stats        *spatial.Stats `json:"stats,omitempty"`
 	Error        string         `json:"error,omitempty"`
+	// SLO latency breakdown, in microseconds: queue wait and execution
+	// appear once the job has started, end-to-end once it is terminal.
+	QueueWaitUS int64 `json:"queue_wait_us,omitempty"`
+	ExecUS      int64 `json:"exec_us,omitempty"`
+	E2EUS       int64 `json:"e2e_us,omitempty"`
+	// HasProfile marks a job whose execution profile is available at
+	// /v1/jobs/{id}/profile (and its trace at .../trace).
+	HasProfile bool `json:"has_profile,omitempty"`
 }
 
 // status snapshots the job; the caller must hold the server mutex.
@@ -109,5 +131,15 @@ func (j *Job) status() *JobStatus {
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
+	if !j.startedAt.IsZero() {
+		st.QueueWaitUS = j.startedAt.Sub(j.queuedAt).Microseconds()
+		if !j.finishedAt.IsZero() {
+			st.ExecUS = j.finishedAt.Sub(j.startedAt).Microseconds()
+		}
+	}
+	if !j.finishedAt.IsZero() {
+		st.E2EUS = j.finishedAt.Sub(j.queuedAt).Microseconds()
+	}
+	st.HasProfile = j.prof != nil
 	return st
 }

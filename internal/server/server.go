@@ -36,9 +36,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mwsjoin/internal/dataset"
 	"mwsjoin/internal/metrics"
+	"mwsjoin/internal/profile"
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/spatial"
 	"mwsjoin/internal/trace"
@@ -86,6 +89,24 @@ type Config struct {
 	// Metrics receives the server_* metrics plus every job's engine and
 	// DFS metrics. May be nil.
 	Metrics *metrics.Registry
+	// Version is the build/version string reported by GET /v1/status and
+	// the server_build_info_* gauge. Empty means "dev".
+	Version string
+	// SlowlogSize bounds the slow-query log (the top-N jobs by
+	// end-to-end latency, GET /v1/slowlog). 0 picks DefaultSlowlogSize,
+	// negative disables the slowlog.
+	SlowlogSize int
+	// LedgerPath, when set, appends a calibration-ledger entry
+	// (profile.LedgerEntry, one JSON line) for every successfully
+	// executed job: the raw EXPLAIN prediction next to the measured
+	// per-phase costs.
+	LedgerPath string
+	// Calibrate prices admission with correction factors learned from
+	// the ledger: factors are derived from LedgerPath's entries at
+	// startup and refreshed as jobs complete. It never changes query
+	// results — only the predicted costs the scheduler orders and
+	// throttles by. Off by default; requires LedgerPath.
+	Calibrate bool
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +118,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.SlowlogSize == 0 {
+		c.SlowlogSize = DefaultSlowlogSize
+	}
+	if c.Version == "" {
+		c.Version = "dev"
 	}
 	return c
 }
@@ -166,8 +193,19 @@ type relEntry struct {
 // Server is the multi-query join service. Create with New, register
 // relations, submit jobs, and Close to drain.
 type Server struct {
-	cfg Config
-	reg *metrics.Registry
+	cfg     Config
+	reg     *metrics.Registry
+	start   time.Time
+	version string
+	// ledger is the persistent calibration ledger (nil without
+	// Config.LedgerPath); cal holds the current correction factors when
+	// Config.Calibrate is on (atomic so Submit prices without taking the
+	// calibration lock).
+	ledger      *profile.Ledger
+	cal         atomic.Pointer[spatial.Calibration]
+	calMu       sync.Mutex // guards calEntries
+	calEntries  []profile.LedgerEntry
+	slowlogSize int
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -179,6 +217,7 @@ type Server struct {
 	running     int
 	stateCounts map[State]int64
 	cache       *resultCache
+	slowlog     []SlowlogEntry // sorted by E2EUS desc, capped at slowlogSize
 	closed      bool
 
 	wg sync.WaitGroup
@@ -189,18 +228,37 @@ type Server struct {
 	stepGate func(jobID string, step int, name string)
 }
 
-// New creates a server and starts its worker pool.
+// New creates a server and starts its worker pool. With
+// Config.LedgerPath set, any existing ledger entries are loaded (a
+// broken ledger is ignored, not fatal) and — with Config.Calibrate —
+// seed the initial correction factors.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
 		reg:         cfg.Metrics,
+		start:       time.Now(),
+		version:     cfg.Version,
+		slowlogSize: cfg.SlowlogSize,
 		rels:        make(map[string]relEntry),
 		jobs:        make(map[string]*Job),
 		stateCounts: make(map[State]int64),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.cache = newResultCache(cfg.CacheBytes, s.reg)
+	if cfg.LedgerPath != "" {
+		s.ledger = profile.OpenLedger(cfg.LedgerPath)
+		if entries, err := profile.ReadLedger(cfg.LedgerPath); err == nil {
+			s.calEntries = entries
+			if cfg.Calibrate && len(entries) > 0 {
+				s.cal.Store(profile.Calibrate(entries))
+			}
+		} else {
+			s.reg.Counter("server_calibration_ledger_errors_total").Add(1)
+		}
+	}
+	s.reg.Gauge("server_build_info_" + metrics.SanitizeName(s.version)).Set(1)
+	s.reg.Gauge("server_uptime_seconds").Set(0)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -278,10 +336,16 @@ func (s *Server) Submit(req SubmitRequest) (*JobStatus, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Predict raw, then price with the learned calibration factors (if
+	// any). The ledger must record the RAW prediction — recording
+	// calibrated values would compound the factors on the next
+	// calibration round — while admission orders and throttles by the
+	// calibrated cost.
 	pred, err := spatial.Predict(method, q, rels, spatial.Config{Part: part})
 	if err != nil {
 		return nil, err
 	}
+	priced := s.cal.Load().Apply(pred)
 
 	s.seq++
 	j := &Job{
@@ -292,9 +356,11 @@ func (s *Server) Submit(req SubmitRequest) (*JobStatus, error) {
 		method:   method,
 		rels:     rels,
 		priority: req.Priority,
-		cost:     pred.Pairs,
-		rounds:   pred.Rounds,
+		cost:     priced.Pairs,
+		rounds:   priced.Rounds,
+		rawPred:  pred,
 		key:      key,
+		queuedAt: time.Now(),
 		done:     make(chan struct{}),
 	}
 	j.part = part
@@ -311,6 +377,8 @@ func (s *Server) Submit(req SubmitRequest) (*JobStatus, error) {
 		s.publishStateGauges()
 		s.jobs[j.id] = j
 		close(j.done)
+		j.finishedAt = time.Now()
+		s.observeSLO(j, j.finishedAt)
 		return j.status(), nil
 	}
 
@@ -568,6 +636,7 @@ func (s *Server) nextJob() *Job {
 				heap.Pop(&s.queue)
 				s.inFlight += top.cost
 				s.running++
+				top.startedAt = time.Now()
 				s.setState(top, StateRunning)
 				s.reg.Gauge("server_inflight_cost").Set(int64(s.inFlight))
 				return top
@@ -599,15 +668,24 @@ func (s *Server) runJob(j *Job) {
 		},
 	}
 	res, err := spatial.Execute(j.method, j.q, j.rels, cfg)
+	finished := time.Now()
+
+	// Assemble the profile outside the mutex: queryTxt and the tracer
+	// are immutable after submission, and no other goroutine touches the
+	// tracer once Execute has returned.
+	var prof *profile.Profile
+	if err == nil {
+		prof = profile.Build(j.queryTxt, &res.Stats, j.tracer.Spans())
+	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.inFlight -= j.cost
 	s.running--
 	s.reg.Gauge("server_inflight_cost").Set(int64(s.inFlight))
 	switch {
 	case err == nil:
 		j.res = res
+		j.prof = prof
 		j.stepsDone = len(res.Stats.Rounds)
 		j.currentStep = ""
 		s.setState(j, StateDone)
@@ -619,8 +697,18 @@ func (s *Server) runJob(j *Job) {
 		j.err = err
 		s.setState(j, StateFailed)
 	}
+	j.finishedAt = finished
+	s.observeSLO(j, finished)
+	s.recordSlowlog(j, finished)
 	close(j.done)
 	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	// Ledger append is real file I/O — after the mutex is released. The
+	// job is terminal, so the fields read here are settled.
+	if err == nil {
+		s.appendLedger(j)
+	}
 }
 
 // jobQueue is the admission priority queue: higher priority first, then

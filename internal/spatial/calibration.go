@@ -1,0 +1,72 @@
+package spatial
+
+import "fmt"
+
+// Calibration holds multiplicative correction factors learned from a
+// ledger of predicted-vs-actual executions (internal/profile derives
+// one with Calibrate). Keys are "<method>/<field>" where field is one
+// of the Prediction's phase fields:
+//
+//	round<i>    the i-th job's shuffled pairs (falls back to "pairs")
+//	pairs       generic per-round pair factor
+//	replicated  rectangles chosen for replication
+//	copies      rectangle copies shipped to the join round
+//	tuples      output cardinality
+//
+// A missing or non-positive factor means "no correction" (×1), so a
+// zero-value or nil Calibration is the identity. Calibration only
+// adjusts Predict's numbers — it never changes which tuples a query
+// returns.
+type Calibration struct {
+	Factors map[string]float64 `json:"factors"`
+}
+
+// CalibrationKey builds the ledger/factor key for a method and phase
+// field, e.g. CalibrationKey(ControlledReplicate, "round0").
+func CalibrationKey(method Method, field string) string {
+	return fmt.Sprintf("%s/%s", method, field)
+}
+
+// Factor returns the correction factor for a method/field, 1 when the
+// calibration is nil or has no usable entry.
+func (c *Calibration) Factor(method Method, field string) float64 {
+	if c == nil {
+		return 1
+	}
+	if f, ok := c.Factors[CalibrationKey(method, field)]; ok && f > 0 {
+		return f
+	}
+	return 1
+}
+
+// roundFactor resolves the factor for round i, falling back to the
+// method's generic "pairs" factor when no per-round entry exists.
+func (c *Calibration) roundFactor(method Method, i int) float64 {
+	if c == nil {
+		return 1
+	}
+	if f, ok := c.Factors[CalibrationKey(method, fmt.Sprintf("round%d", i))]; ok && f > 0 {
+		return f
+	}
+	return c.Factor(method, "pairs")
+}
+
+// Apply returns a copy of p with the calibration's correction factors
+// multiplied into every phase field (Pairs is recomputed as the sum of
+// the corrected rounds). A nil calibration returns p unchanged.
+func (c *Calibration) Apply(p *Prediction) *Prediction {
+	if c == nil || p == nil {
+		return p
+	}
+	out := *p
+	out.RoundPairs = make([]float64, len(p.RoundPairs))
+	out.Pairs = 0
+	for i, n := range p.RoundPairs {
+		out.RoundPairs[i] = n * c.roundFactor(p.Method, i)
+		out.Pairs += out.RoundPairs[i]
+	}
+	out.Replicated = p.Replicated * c.Factor(p.Method, "replicated")
+	out.Copies = p.Copies * c.Factor(p.Method, "copies")
+	out.Tuples = p.Tuples * c.Factor(p.Method, "tuples")
+	return &out
+}

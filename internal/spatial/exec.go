@@ -112,6 +112,11 @@ type Config struct {
 	// It affects the Cascade job sequence and the backtracking order of
 	// every reducer-local matcher; results are unchanged.
 	OptimizeOrder bool
+	// Calibration, when non-nil, multiplies learned per-method/per-phase
+	// correction factors into Predict's estimates (see Calibration).
+	// Execute ignores it entirely — calibration re-prices plans, it
+	// never changes results.
+	Calibration *Calibration
 	// CountOnly suppresses materialisation of the output tuples:
 	// Result.Tuples stays nil while Stats.OutputTuples still reports
 	// the exact count. Used by the benchmark harness, whose dense
@@ -236,6 +241,12 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 	exec := &executor{part: part, rels: rels, fs: fs, cfg: cfg, metric: cfg.LimitMetric, tr: cfg.Tracer}
 	exec.runSpan = exec.tr.Start(0, trace.KindRun, fmt.Sprintf("%s %s", method, q))
 	exec.cur = exec.runSpan
+	// Registered before the runSpan End so it runs after it (defers are
+	// LIFO): on a clean return every span is already ended and this is a
+	// no-op; on a panic, cancellation or error return it closes the
+	// round/job/phase spans whose End was skipped, flagging each with
+	// the unfinished counter so exporters never see a dangling span.
+	defer exec.tr.FinishOpen()
 	if exec.runSpan != 0 {
 		fs.SetTrace(exec.tr, exec.runSpan)
 		defer fs.SetTrace(nil, 0)

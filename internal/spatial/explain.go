@@ -42,7 +42,9 @@ type Prediction struct {
 // under the same configuration Execute would use. The estimator draws
 // deterministic uniform samples (estimate.Sampler with the planner's
 // fixed seed), so predictions are reproducible. BruteForce predicts
-// zero communication: it runs no map-reduce job.
+// zero communication: it runs no map-reduce job. When cfg.Calibration
+// is set, its learned per-method/per-phase correction factors are
+// multiplied into the returned estimate (see Calibration.Apply).
 func Predict(method Method, q *query.Query, rels []Relation, cfg Config) (*Prediction, error) {
 	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree, cfg.RTreeSweepThreshold)
 	if err != nil {
@@ -83,7 +85,7 @@ func Predict(method Method, q *query.Query, rels []Relation, cfg Config) (*Predi
 		p.Pairs += n
 	}
 	p.Tuples = pr.outputTuples()
-	return p, nil
+	return cfg.Calibration.Apply(p), nil
 }
 
 // predictor carries the sampled per-slot state of one Predict call.

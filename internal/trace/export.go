@@ -11,7 +11,10 @@ import (
 
 // jsonSpan is the wire form of one timeline line. Offsets and
 // durations are integer microseconds so any tooling can consume them
-// without duration parsing; dur_us is -1 for spans never ended.
+// without duration parsing. A span never ended is flagged with
+// "open":true and a zero duration — negative durations are never
+// serialized (downstream viewers choke on them); ReadJSON restores the
+// in-memory Dur == -1 sentinel from the flag.
 type jsonSpan struct {
 	ID       SpanID           `json:"id"`
 	Parent   SpanID           `json:"parent"`
@@ -19,6 +22,7 @@ type jsonSpan struct {
 	Name     string           `json:"name"`
 	StartUS  int64            `json:"start_us"`
 	DurUS    int64            `json:"dur_us"`
+	Open     bool             `json:"open,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
@@ -36,7 +40,8 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			Counters: s.Counters,
 		}
 		if s.Dur < 0 {
-			js.DurUS = -1
+			js.DurUS = 0
+			js.Open = true
 		}
 		if err := enc.Encode(js); err != nil {
 			return err
@@ -63,7 +68,7 @@ func ReadJSON(r io.Reader) ([]Span, error) {
 			Dur:      time.Duration(js.DurUS) * time.Microsecond,
 			Counters: js.Counters,
 		}
-		if js.DurUS < 0 {
+		if js.Open || js.DurUS < 0 {
 			s.Dur = -1
 		}
 		out = append(out, s)

@@ -202,6 +202,50 @@ func (t *Tracer) Add(id SpanID, counter string, delta int64) {
 	}
 }
 
+// UnfinishedCounter is attached (value 1) to every span closed by
+// FinishOpen rather than by its own End call, so exports and profiles
+// can tell a clean completion from a span orphaned by a panic, a
+// cancellation, or an error return that skipped the End.
+const UnfinishedCounter = "unfinished"
+
+// FinishOpen closes every span still open at the current time, marking
+// each with the UnfinishedCounter, and returns how many it closed. It
+// is the finalizer for panic/cancel/error paths: a span tree handed to
+// an exporter after FinishOpen contains no open (Dur == -1) spans, so
+// timelines never serialize negative durations. On a clean run every
+// span was already ended and FinishOpen is a no-op returning 0. Safe
+// on a nil tracer.
+func (t *Tracer) FinishOpen() int {
+	if t == nil {
+		return 0
+	}
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	var closed []*span
+	for _, s := range t.spans {
+		if s.dur < 0 {
+			s.dur = now - s.start
+			if s.dur < 0 {
+				s.dur = 0
+			}
+			if s.counters == nil {
+				s.counters = make(map[string]int64)
+			}
+			s.counters[UnfinishedCounter] = 1
+			closed = append(closed, s)
+		}
+	}
+	sink := t.sink
+	t.mu.Unlock()
+	// Mirror Add: the sink observes the flag outside the tracer lock.
+	if sink != nil {
+		for _, s := range closed {
+			sink.SpanCounter(s.kind, s.name, UnfinishedCounter, 1)
+		}
+	}
+	return len(closed)
+}
+
 // Spans returns a snapshot of all recorded spans in creation (ID)
 // order. Open spans have Dur == -1. A nil tracer returns nil.
 func (t *Tracer) Spans() []Span {

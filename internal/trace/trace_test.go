@@ -190,6 +190,72 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFinishOpenFlagsOrphans: FinishOpen closes exactly the spans an
+// abandoned execution left open, marks them unfinished, and never
+// lets a negative duration reach the JSON timeline.
+func TestFinishOpenFlagsOrphans(t *testing.T) {
+	tr := New()
+	run := tr.Start(0, KindRun, "run")
+	done := tr.Start(run, KindJob, "finished")
+	tr.End(done)
+	orphanRound := tr.Start(run, KindRound, "step-1")
+	orphanPhase := tr.Start(orphanRound, KindPhase, "map")
+	// Simulate a panic/cancel unwinding past the End calls for run,
+	// round and phase.
+	if n := tr.FinishOpen(); n != 3 {
+		t.Fatalf("FinishOpen closed %d spans, want 3", n)
+	}
+	for _, s := range tr.Spans() {
+		if s.Dur < 0 {
+			t.Errorf("span %d (%s) still open after FinishOpen", s.ID, s.Name)
+		}
+	}
+	byID := map[SpanID]Span{}
+	for _, s := range tr.Spans() {
+		byID[s.ID] = s
+	}
+	if byID[done].Counter(UnfinishedCounter) != 0 {
+		t.Error("cleanly ended span wrongly flagged unfinished")
+	}
+	for _, id := range []SpanID{run, orphanRound, orphanPhase} {
+		if byID[id].Counter(UnfinishedCounter) != 1 {
+			t.Errorf("span %d missing %s counter: %v", id, UnfinishedCounter, byID[id].Counters)
+		}
+	}
+	// Idempotent: nothing left to close.
+	if n := tr.FinishOpen(); n != 0 {
+		t.Errorf("second FinishOpen closed %d spans, want 0", n)
+	}
+	var nilTr *Tracer
+	if nilTr.FinishOpen() != 0 {
+		t.Error("nil FinishOpen must return 0")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"dur_us":-`) {
+		t.Errorf("timeline contains a negative duration:\n%s", buf.String())
+	}
+}
+
+// TestWriteJSONOpenFlag: a span that is still open at export time is
+// serialized with "open":true and dur_us 0, and ReadJSON restores the
+// Dur == -1 sentinel (covered by the round-trip test's back[2] check).
+func TestWriteJSONOpenFlag(t *testing.T) {
+	tr := New()
+	tr.Start(0, KindRun, "still-going")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.Contains(line, `"open":true`) || strings.Contains(line, `"dur_us":-1`) {
+		t.Errorf("open span not flagged: %s", line)
+	}
+}
+
 func TestWriteTreeSummary(t *testing.T) {
 	tr := New()
 	run := tr.Start(0, KindRun, "c-rep-l q2")

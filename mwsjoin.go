@@ -44,6 +44,7 @@ import (
 	"mwsjoin/internal/mapreduce"
 	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/pointquery"
+	"mwsjoin/internal/profile"
 	"mwsjoin/internal/query"
 	"mwsjoin/internal/refine"
 	"mwsjoin/internal/spatial"
@@ -209,6 +210,11 @@ type Options struct {
 	// exact count. Use for cost measurement (the -explain mode) where
 	// only the counters matter.
 	CountOnly bool
+	// Calibration, when non-nil, applies learned per-method/per-phase
+	// correction factors to Predict's estimates (see Calibrate and the
+	// calibration ledger). Run ignores it entirely — calibration never
+	// changes query results, only predictions.
+	Calibration *Calibration
 }
 
 // Tracer is the structured tracing collector; pass one via
@@ -298,6 +304,77 @@ func Predict(q *Query, rels []Relation, method Method, opts *Options) (*Predicti
 	return spatial.Predict(method, q, rels, cfg)
 }
 
+// Profile is the structured post-execution query profile: per-round
+// map/shuffle/reduce wall times and counters, skew, combiner
+// effectiveness, replication and chain/checkpoint accounting. Assemble
+// one with BuildProfile; render with its WriteText method or export its
+// tracer's spans with WriteChromeTrace. Normalize() returns a copy with
+// every wall-time field zeroed — byte-identical across runs that differ
+// only in scheduling.
+type Profile = profile.Profile
+
+// BuildProfile assembles a Profile from a finished run's Stats and the
+// spans its Tracer recorded (pass nil spans to profile counters only).
+func BuildProfile(q *Query, st *Stats, spans []TraceSpan) *Profile {
+	text := ""
+	if q != nil {
+		text = q.String()
+	}
+	return profile.Build(text, st, spans)
+}
+
+// WriteChromeTrace exports tracer spans as Chrome trace-event JSON,
+// loadable in chrome://tracing and Perfetto: one complete event per
+// span, the span hierarchy on one track and each task on its own lane.
+func WriteChromeTrace(w io.Writer, spans []TraceSpan) error {
+	return profile.WriteChromeTrace(w, spans)
+}
+
+// ValidateChromeTrace checks that data is well-formed Chrome
+// trace-event JSON as WriteChromeTrace emits it (complete events,
+// non-negative times).
+func ValidateChromeTrace(data []byte) error { return profile.ValidateChromeTrace(data) }
+
+// Calibration holds learned per-method/per-phase correction factors for
+// the EXPLAIN cost model; pass via Options.Calibration to tighten
+// Predict. Derive one from a ledger with Calibrate.
+type Calibration = spatial.Calibration
+
+// CalibrationEntry is one line of the calibration ledger: a query's
+// predicted versus measured per-phase costs.
+type CalibrationEntry = profile.LedgerEntry
+
+// CalibrationLedger is the persistent predicted-vs-actual ledger (JSON
+// lines on the real file system), appended once per executed query.
+type CalibrationLedger = profile.Ledger
+
+// OpenCalibrationLedger returns a ledger appending to path (created on
+// first use).
+func OpenCalibrationLedger(path string) *CalibrationLedger { return profile.OpenLedger(path) }
+
+// ReadCalibrationLedger loads every entry of a ledger file; a missing
+// file is an empty ledger.
+func ReadCalibrationLedger(path string) ([]CalibrationEntry, error) {
+	return profile.ReadLedger(path)
+}
+
+// NewCalibrationEntry pairs an uncalibrated Prediction with the Stats
+// the corresponding Run measured. Append it to a ledger, then derive
+// factors with Calibrate. Always record raw (uncalibrated) predictions:
+// ledgering calibrated ones would compound the factors.
+func NewCalibrationEntry(q *Query, pred *Prediction, st *Stats) CalibrationEntry {
+	text := ""
+	if q != nil {
+		text = q.String()
+	}
+	return profile.NewLedgerEntry(text, pred, st)
+}
+
+// Calibrate derives correction factors from ledger entries: for each
+// (method, phase) the geometric mean of actual/predicted over the
+// usable entries. An empty ledger yields the identity calibration.
+func Calibrate(entries []CalibrationEntry) *Calibration { return profile.Calibrate(entries) }
+
 // Run executes the query with the chosen method. rels[i] binds query
 // slot i; opts may be nil.
 func Run(q *Query, rels []Relation, method Method, opts *Options) (*Result, error) {
@@ -350,6 +427,7 @@ func buildConfig(rels []Relation, opts *Options) (spatial.Config, error) {
 		Metrics:             o.Metrics,
 		OptimizeOrder:       o.OptimizeOrder,
 		CountOnly:           o.CountOnly,
+		Calibration:         o.Calibration,
 	}
 	if o.EuclideanLimit {
 		cfg.LimitMetric = grid.MetricEuclidean

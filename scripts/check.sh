@@ -59,6 +59,22 @@ echo "== join service e2e under -race (daemon on :0, submit→poll→result→ca
 go test -race -count=1 -run 'TestDaemonEndToEnd' ./cmd/mwsjoind
 go test -race -count=1 -run 'TestServerExample' ./examples/server
 
+echo "== observability v2 under -race (profiles, calibration loop, SLOs, slowlog) =="
+# Determinism invariant (normalized profiles byte-identical across
+# parallelism/faults/kill-resume), Chrome trace schema validation,
+# calibration strictly tightening prediction error without changing
+# results, and the daemon e2e with profiling + calibrated admission +
+# slowlog/status endpoints; the ≤5% profiling-overhead acceptance bar
+# lives in the committed BENCH_PR7.json anchor. -count=1 defeats the
+# cache so the race detector re-exercises the server goroutines.
+go test -race -count=1 ./internal/profile
+go test -race -count=1 \
+    -run 'TestServerProfileAndSlowlog|TestSlowlogOrderAndCap|TestServerStatusInfo|TestServerCalibratedAdmission|TestHTTPObservabilityEndpoints' \
+    ./internal/server
+go test -race -count=1 -run 'TestProfileCalibrateFlags' ./cmd/mwsjoin
+go test -race -count=1 -run 'TestDaemonObservabilityEndToEnd' ./cmd/mwsjoind
+go test -race -count=1 -run 'TestBenchPR7Anchor' .
+
 echo "== fuzz (FuzzParseQuery, 5s) =="
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
 
