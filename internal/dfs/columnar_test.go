@@ -1,0 +1,318 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// testMBBs synthesises n distinct MBB rows covering negative slots and
+// coordinates, marked and unmarked.
+func testMBBs(n int) []MBB {
+	ms := make([]MBB, n)
+	for i := range ms {
+		ms[i] = MBB{
+			Slot:   int8(i % 3),
+			ID:     int32(i - n/2),
+			X:      float64(i) * 1.5,
+			Y:      -float64(i) * 0.25,
+			L:      float64(i%7) + 0.125,
+			B:      float64(i%5) + 0.0625,
+			Marked: i%4 == 0,
+		}
+	}
+	return ms
+}
+
+// boxedImage renders one MBB in the boxed wire format via the columnar
+// encoder, the reference layout both storage kinds must agree on.
+func boxedImage(m MBB) []byte {
+	var c mbbColumns
+	c.appendRow(m)
+	buf := make([]byte, MBBRecordBytes)
+	c.encodeInto(buf, 0)
+	return buf
+}
+
+// TestColumnarBoxedEquivalence writes the same rows through the boxed
+// and columnar writers on separate file systems and checks that Scan
+// yields byte-identical records, ScanMBB yields identical rows, and
+// every Stats counter matches exactly.
+func TestColumnarBoxedEquivalence(t *testing.T) {
+	rows := testMBBs(137)
+
+	boxed := New(0)
+	bw := boxed.Create("rel")
+	for _, m := range rows {
+		bw.Append(boxedImage(m))
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	col := New(0)
+	cw := col.CreateMBB("rel")
+	for _, m := range rows {
+		cw.Append(m)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if b, c := boxed.Stats(), col.Stats(); b != c {
+		t.Errorf("write Stats differ: boxed %+v, columnar %+v", b, c)
+	}
+
+	scanAll := func(fs *FS) [][]byte {
+		var out [][]byte
+		if err := fs.Scan("rel", func(rec []byte) error {
+			out = append(out, append([]byte(nil), rec...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	br, cr := scanAll(boxed), scanAll(col)
+	if len(br) != len(cr) {
+		t.Fatalf("Scan record counts differ: %d vs %d", len(br), len(cr))
+	}
+	for i := range br {
+		if !bytes.Equal(br[i], cr[i]) {
+			t.Fatalf("record %d differs between boxed and columnar Scan", i)
+		}
+	}
+
+	mbbAll := func(fs *FS) []MBB {
+		var out []MBB
+		if err := fs.ScanMBB("rel", func(m MBB) error {
+			out = append(out, m)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	bm, cm := mbbAll(boxed), mbbAll(col)
+	if !reflect.DeepEqual(bm, rows) || !reflect.DeepEqual(cm, rows) {
+		t.Fatal("ScanMBB rows differ from the written rows")
+	}
+
+	if b, c := boxed.Stats(), col.Stats(); b != c {
+		t.Errorf("read Stats differ: boxed %+v, columnar %+v", b, c)
+	} else if want := int64(len(rows)) * MBBRecordBytes * 2; b.BytesRead != want {
+		t.Errorf("BytesRead = %d, want %d (Scan + ScanMBB)", b.BytesRead, want)
+	}
+}
+
+// TestColumnarScanRange checks the synthesised boxed view of a columnar
+// file under ScanRange, including the partial-charge semantics.
+func TestColumnarScanRange(t *testing.T) {
+	rows := testMBBs(10)
+	fs := New(0)
+	w := fs.CreateMBB("rel")
+	for _, m := range rows {
+		w.Append(m)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Stats()
+	var got []MBB
+	if err := fs.ScanRange("rel", 3, 7, func(rec []byte) error {
+		m, err := decodeMBB(rec)
+		if err != nil {
+			return err
+		}
+		got = append(got, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows[3:7]) {
+		t.Errorf("ScanRange rows = %+v, want rows 3..6", got)
+	}
+	d := fs.Stats().BytesRead - before.BytesRead
+	if want := int64(4) * MBBRecordBytes; d != want {
+		t.Errorf("ScanRange charged %d bytes, want %d", d, want)
+	}
+}
+
+// TestScanMBBBoxedErrors checks that a boxed file with a malformed
+// record fails ScanMBB with a decode error.
+func TestScanMBBBoxedErrors(t *testing.T) {
+	fs := New(0)
+	w := fs.Create("bad")
+	w.Append([]byte("short"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ScanMBB("bad", func(MBB) error { return nil }); err == nil {
+		t.Fatal("ScanMBB on malformed boxed record should fail")
+	}
+	if err := fs.ScanMBB("missing", func(MBB) error { return nil }); err == nil {
+		t.Fatal("ScanMBB on missing file should fail")
+	}
+}
+
+// TestMBBWriterDoubleClose mirrors the boxed writer's close contract.
+func TestMBBWriterDoubleClose(t *testing.T) {
+	fs := New(0)
+	w := fs.CreateMBB("rel")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("second Close should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Append after Close should panic")
+		}
+	}()
+	w.Append(MBB{})
+}
+
+// TestAppendOwnedTransfersOwnership checks the no-copy append: the file
+// stores the exact buffer (mutations show through, proving no copy was
+// taken — which is why callers must not reuse the buffer).
+func TestAppendOwnedTransfersOwnership(t *testing.T) {
+	fs := New(0)
+	w := fs.Create("a")
+	buf := []byte("abc")
+	w.AppendOwned(buf)
+	buf[0] = 'X'
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Scan("a", func(rec []byte) error {
+		if string(rec) != "Xbc" {
+			t.Errorf("record = %q, want Xbc (ownership transferred, no copy)", rec)
+		}
+		return nil
+	})
+	st := fs.Stats()
+	if st.BytesWritten != 3 || st.RecordsWritten != 1 {
+		t.Errorf("Stats = %+v, want 3 bytes / 1 record written", st)
+	}
+}
+
+// TestLocalFilesUncharged checks CreateLocal semantics: full read/write
+// round-trip with zero charged Stats, no file-count charges on create
+// or delete, and exclusion from snapshots.
+func TestLocalFilesUncharged(t *testing.T) {
+	fs := New(0)
+	w := fs.CreateLocal("spill/j/run-1")
+	w.Append([]byte("pair1"))
+	w.AppendOwned([]byte("pair2!"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st != (Stats{}) {
+		t.Errorf("local write charged Stats %+v, want all zero", st)
+	}
+	var got []string
+	if err := fs.Scan("spill/j/run-1", func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"pair1", "pair2!"}) {
+		t.Errorf("local Scan = %q", got)
+	}
+	if st := fs.Stats(); st != (Stats{}) {
+		t.Errorf("local read charged Stats %+v, want all zero", st)
+	}
+
+	// A charged file alongside, to prove the snapshot keeps it while
+	// skipping the local scratch.
+	cw := fs.Create("kept")
+	cw.Append([]byte("data"))
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := fs.WriteSnapshot(&img); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Exists("spill/j/run-1") {
+		t.Error("snapshot restored local scratch file")
+	}
+	if !restored.Exists("kept") {
+		t.Error("snapshot lost the charged file")
+	}
+
+	if err := fs.Delete("spill/j/run-1"); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.FilesDeleted != 0 {
+		t.Errorf("local delete charged FilesDeleted = %d, want 0", st.FilesDeleted)
+	}
+}
+
+// TestColumnarSnapshotRoundTrip snapshots a columnar file and checks it
+// restores as a readable (boxed) file with identical records under both
+// Scan and ScanMBB.
+func TestColumnarSnapshotRoundTrip(t *testing.T) {
+	rows := testMBBs(23)
+	fs := New(0)
+	w := fs.CreateMBB("rel")
+	for _, m := range rows {
+		w.Append(m)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := fs.WriteSnapshot(&img); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []MBB
+	if err := restored.ScanMBB("rel", func(m MBB) error {
+		got = append(got, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatal("restored rows differ from the written rows")
+	}
+	b, n, err := restored.Size("rel")
+	if err != nil || n != int64(len(rows)) || b != int64(len(rows))*MBBRecordBytes {
+		t.Errorf("restored Size = (%d, %d, %v)", b, n, err)
+	}
+}
+
+// TestColumnarWireFormat pins the exact byte layout so the spatial
+// package's item records and the columnar encoder can never drift
+// apart silently.
+func TestColumnarWireFormat(t *testing.T) {
+	m := MBB{Slot: 2, ID: -7, X: 1.5, Y: -2.25, L: 3, B: 0.125, Marked: true}
+	rec := boxedImage(m)
+	if len(rec) != MBBRecordBytes {
+		t.Fatalf("record is %d bytes, want %d", len(rec), MBBRecordBytes)
+	}
+	back, err := decodeMBB(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Errorf("round-trip %+v -> %+v", m, back)
+	}
+	if rec[0] != 2 || rec[37] != 1 {
+		t.Errorf("slot/marked bytes = %d/%d, want 2/1", rec[0], rec[37])
+	}
+	if got := fmt.Sprintf("%x", rec[1:5]); got != "f9ffffff" {
+		t.Errorf("id bytes = %s, want f9ffffff (little-endian -7)", got)
+	}
+}

@@ -115,6 +115,62 @@ func (fs *FS) meterIO(op, past string, bytes, records int64) {
 type file struct {
 	records [][]byte
 	bytes   int64
+	// cols, when non-nil, makes this a columnar MBB file (see
+	// columnar.go): rows live in structs-of-arrays planes and records
+	// stays nil. A file's storage kind is fixed at creation.
+	cols *mbbColumns
+	// local marks simulated *local-disk* scratch (shuffle spill runs):
+	// its I/O is never charged to the Stats counters — Hadoop spills
+	// sorted runs to the tasktracker's local filesystem, not HDFS —
+	// and it is excluded from snapshots.
+	local bool
+}
+
+// count returns the number of records in the file.
+func (f *file) count() int64 {
+	if f.cols != nil {
+		return int64(len(f.cols.ids))
+	}
+	return int64(len(f.records))
+}
+
+// forEachRange streams records [lo, hi) in the boxed wire format,
+// synthesising columnar rows into a reused scratch buffer (callers
+// must not retain the slice — the Scan contract). It returns the bytes
+// delivered before fn's first error, mirroring Scan's
+// charge-nothing-on-error behaviour.
+func (f *file) forEachRange(lo, hi int64, fn func(record []byte) error) (int64, error) {
+	var bytes int64
+	if f.cols != nil {
+		var scratch [MBBRecordBytes]byte
+		for i := lo; i < hi; i++ {
+			f.cols.encodeInto(scratch[:], int(i))
+			bytes += MBBRecordBytes
+			if err := fn(scratch[:]); err != nil {
+				return bytes, err
+			}
+		}
+		return bytes, nil
+	}
+	for _, rec := range f.records[lo:hi] {
+		bytes += int64(len(rec))
+		if err := fn(rec); err != nil {
+			return bytes, err
+		}
+	}
+	return bytes, nil
+}
+
+// chargeRead charges one whole read operation against the counters,
+// unless the file is local scratch.
+func (fs *FS) chargeRead(f *file, bytes, records int64) {
+	if f.local {
+		return
+	}
+	fs.bytesRead.Add(bytes)
+	fs.recordsRead.Add(records)
+	fs.traceIO("dfs_bytes_read", "dfs_records_read", bytes, records)
+	fs.meterIO("read", "read", bytes, records)
 }
 
 // New creates a file system with the given block size; sizes ≤ 0 fall
@@ -143,16 +199,34 @@ func (fs *FS) Create(name string) *Writer {
 	return &Writer{fs: fs, f: f}
 }
 
+// CreateLocal makes (or truncates) the named file as *local-disk*
+// scratch: none of its I/O — create, write, read, delete — is charged
+// to the Stats counters, and snapshots skip it. The map-reduce engine
+// uses local files for spilled sorted runs, which in a real cluster
+// live on the tasktracker's local filesystem, not the DFS; keeping
+// them out of the counters keeps the paper's reading/writing-cost
+// metric identical whether a shuffle spilled or stayed in memory.
+func (fs *FS) CreateLocal(name string) *Writer {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &file{local: true}
+	fs.files[name] = f
+	return &Writer{fs: fs, f: f}
+}
+
 // Delete removes the named file; deleting a missing file is an error so
 // that lifecycle bugs in job chains surface.
 func (fs *FS) Delete(name string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, ok := fs.files[name]; !ok {
+	f, ok := fs.files[name]
+	if !ok {
 		return fmt.Errorf("dfs: delete %q: no such file", name)
 	}
 	delete(fs.files, name)
-	fs.filesDeleted.Add(1)
+	if !f.local {
+		fs.filesDeleted.Add(1)
+	}
 	return nil
 }
 
@@ -184,12 +258,13 @@ func (fs *FS) Size(name string) (bytes, records int64, err error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("dfs: stat %q: no such file", name)
 	}
-	return f.bytes, int64(len(f.records)), nil
+	return f.bytes, f.count(), nil
 }
 
 // Scan reads every record of the named file in order, charging the read
 // counters, and invokes fn on each. The callback receives the stored
-// byte slice; callers must not retain or mutate it.
+// byte slice (or, on a columnar file, a reused scratch rendering of the
+// row); callers must not retain or mutate it.
 func (fs *FS) Scan(name string, fn func(record []byte) error) error {
 	fs.mu.RLock()
 	f, ok := fs.files[name]
@@ -197,17 +272,12 @@ func (fs *FS) Scan(name string, fn func(record []byte) error) error {
 	if !ok {
 		return fmt.Errorf("dfs: open %q: no such file", name)
 	}
-	var bytes int64
-	for _, rec := range f.records {
-		bytes += int64(len(rec))
-		if err := fn(rec); err != nil {
-			return err
-		}
+	n := f.count()
+	bytes, err := f.forEachRange(0, n, fn)
+	if err != nil {
+		return err
 	}
-	fs.bytesRead.Add(bytes)
-	fs.recordsRead.Add(int64(len(f.records)))
-	fs.traceIO("dfs_bytes_read", "dfs_records_read", bytes, int64(len(f.records)))
-	fs.meterIO("read", "read", bytes, int64(len(f.records)))
+	fs.chargeRead(f, bytes, n)
 	return nil
 }
 
@@ -221,21 +291,15 @@ func (fs *FS) ScanRange(name string, lo, hi int64, fn func(record []byte) error)
 	if !ok {
 		return fmt.Errorf("dfs: open %q: no such file", name)
 	}
-	n := int64(len(f.records))
+	n := f.count()
 	if lo < 0 || hi < lo || hi > n {
 		return fmt.Errorf("dfs: scan %q range [%d,%d) out of bounds (0..%d)", name, lo, hi, n)
 	}
-	var bytes int64
-	for _, rec := range f.records[lo:hi] {
-		bytes += int64(len(rec))
-		if err := fn(rec); err != nil {
-			return err
-		}
+	bytes, err := f.forEachRange(lo, hi, fn)
+	if err != nil {
+		return err
 	}
-	fs.bytesRead.Add(bytes)
-	fs.recordsRead.Add(hi - lo)
-	fs.traceIO("dfs_bytes_read", "dfs_records_read", bytes, hi-lo)
-	fs.meterIO("read", "read", bytes, hi-lo)
+	fs.chargeRead(f, bytes, hi-lo)
 	return nil
 }
 
@@ -287,6 +351,19 @@ func (w *Writer) Append(record []byte) {
 	w.bytes += int64(len(cp))
 }
 
+// AppendOwned adds one record, taking ownership of the buffer: no
+// defensive copy is made, so the caller must not reuse or mutate the
+// slice afterwards. Use it when the record was freshly encoded for
+// this writer — it removes the dominant per-record allocation on the
+// staging and checkpoint write paths.
+func (w *Writer) AppendOwned(record []byte) {
+	if w.closed {
+		panic("dfs: AppendOwned on closed writer")
+	}
+	w.pending = append(w.pending, record)
+	w.bytes += int64(len(record))
+}
+
 // Close publishes the appended records to the file and charges the
 // write counters. A writer must be closed exactly once.
 func (w *Writer) Close() error {
@@ -298,10 +375,12 @@ func (w *Writer) Close() error {
 	w.f.records = append(w.f.records, w.pending...)
 	w.f.bytes += w.bytes
 	w.fs.mu.Unlock()
-	w.fs.bytesWritten.Add(w.bytes)
-	w.fs.recordsWritten.Add(int64(len(w.pending)))
-	w.fs.traceIO("dfs_bytes_written", "dfs_records_written", w.bytes, int64(len(w.pending)))
-	w.fs.meterIO("write", "written", w.bytes, int64(len(w.pending)))
+	if !w.f.local {
+		w.fs.bytesWritten.Add(w.bytes)
+		w.fs.recordsWritten.Add(int64(len(w.pending)))
+		w.fs.traceIO("dfs_bytes_written", "dfs_records_written", w.bytes, int64(len(w.pending)))
+		w.fs.meterIO("write", "written", w.bytes, int64(len(w.pending)))
+	}
 	w.pending = nil
 	return nil
 }

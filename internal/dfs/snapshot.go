@@ -20,12 +20,26 @@ const snapshotMagic = "mwsdfs1\n"
 // Format: magic, uvarint file count, then per file (lexical name
 // order) a uvarint-length-prefixed name, a uvarint record count, and
 // each record uvarint-length-prefixed.
+//
+// Columnar MBB files are serialised as their boxed record images (the
+// wire formats are byte-identical), so the snapshot format is
+// independent of the storage kind; they restore as boxed files, which
+// ScanMBB reads just as well. Local spill scratch (CreateLocal) is
+// transient shuffle state, not chain state, and is skipped.
 func (fs *FS) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
-	names := fs.List()
+	var names []string
+	for _, name := range fs.List() {
+		fs.mu.RLock()
+		local := fs.files[name].local
+		fs.mu.RUnlock()
+		if !local {
+			names = append(names, name)
+		}
+	}
 	var buf [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) error {
 		n := binary.PutUvarint(buf[:], v)
@@ -45,16 +59,17 @@ func (fs *FS) WriteSnapshot(w io.Writer) error {
 		if _, err := bw.WriteString(name); err != nil {
 			return err
 		}
-		if err := putUvarint(uint64(len(f.records))); err != nil {
+		if err := putUvarint(uint64(f.count())); err != nil {
 			return err
 		}
-		for _, rec := range f.records {
+		if _, err := f.forEachRange(0, f.count(), func(rec []byte) error {
 			if err := putUvarint(uint64(len(rec))); err != nil {
 				return err
 			}
-			if _, err := bw.Write(rec); err != nil {
-				return err
-			}
+			_, err := bw.Write(rec)
+			return err
+		}); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()

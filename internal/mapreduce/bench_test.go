@@ -60,7 +60,7 @@ func BenchmarkFinalizeRun(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				copy(run, src)
 				batch := pairBatch[int64, int64]{pairs: run}
-				finalizeRun(&batch, bc.rank, bc.combine, bc.bytes)
+				finalizeRun(&batch, bc.rank, bc.combine, bc.bytes, nil)
 			}
 		})
 	}
@@ -75,13 +75,13 @@ func BenchmarkMergeRuns(b *testing.B) {
 			batches := make([][]pairBatch[int64, int64], nruns)
 			for m := range batches {
 				batch := pairBatch[int64, int64]{pairs: benchPairs(per, 1<<11, m)}
-				finalizeRun(&batch, keyRanker[int64](), nil, nil)
+				finalizeRun(&batch, keyRanker[int64](), nil, nil, nil)
 				batches[m] = []pairBatch[int64, int64]{batch}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				mergeRuns(batches, 0, nruns*per)
+				mergeRuns(batches, 0, nruns*per, nil)
 			}
 		})
 	}
@@ -93,12 +93,12 @@ func BenchmarkMergeRuns(b *testing.B) {
 func BenchmarkGrouping(b *testing.B) {
 	const n, keyspace = 1 << 17, 1 << 11
 	batch := pairBatch[int64, int64]{pairs: benchPairs(n, keyspace, 1)}
-	finalizeRun(&batch, keyRanker[int64](), nil, nil)
-	in := mergeRuns([][]pairBatch[int64, int64]{{batch}}, 0, n)
+	finalizeRun(&batch, keyRanker[int64](), nil, nil, nil)
+	in := mergeRuns([][]pairBatch[int64, int64]{{batch}}, 0, n, nil)
 	b.Run("pipeline", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			groupStarts(in.keys)
+			groupStarts(in.keys, nil)
 		}
 	})
 	b.Run("legacy", func(b *testing.B) {
@@ -182,15 +182,25 @@ func BenchmarkEngine(b *testing.B) {
 // grouping thrashes allocation and the sorted-run pipeline stays
 // linear), run through the legacy (pre-pipeline) shuffle and the
 // sort-based pipeline in the same process so the speedup is measured
-// like for like.
+// like for like. The pooled mode additionally sets Config.Pool — the
+// PR 8 acceptance gate is pooled allocs/op ≤ pipeline allocs/op / 1.5
+// on this workload (see bench_pr8_test.go).
 func BenchmarkShuffleHeavy1M(b *testing.B) {
 	const records = 1 << 17 // 8 pairs each -> 1,048,576 pairs
-	for _, mode := range []string{"legacy", "pipeline"} {
+	for _, mode := range []string{"legacy", "pipeline", "pooled"} {
 		b.Run(mode, func(b *testing.B) {
 			job, mkInput := benchEngineJob(64, 8, 1<<20, true, false)
 			input := mkInput(records)
 			legacyGrouping = mode == "legacy"
 			defer func() { legacyGrouping = false }()
+			if mode == "pooled" {
+				job.Config.Pool = NewBufferPool()
+				// Warm the pool: steady-state reuse, not first-run
+				// growth, is what the anchor measures.
+				if _, _, err := job.Run(input); err != nil {
+					b.Fatal(err)
+				}
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -136,7 +136,10 @@ func (c *Chain) Stats() ChainStats { return c.stats }
 // previous step's checkpoint records (nil for the first step) and
 // returns the step's output records plus the job's Stats. The output is
 // committed to the DFS before Step returns; the records handed to the
-// next step are the ones read back from that file.
+// next step are the ones read back from that file. The chain takes
+// ownership of the returned records — they are written to the
+// checkpoint without a defensive copy, so run must not reuse or mutate
+// them after returning.
 //
 // Under Resume, a step whose checkpoint is already complete is skipped
 // entirely — run is not called, none of its input is read — and the
@@ -328,7 +331,9 @@ func (c *Chain) writeCheckpoint(i int, name, file string, out [][]byte, st *Stat
 	w := fs.Create(file)
 	var bytes int64
 	for _, rec := range out {
-		w.Append(rec)
+		// The chain owns step output records (see Step), so they move
+		// into the file without the defensive Append copy.
+		w.AppendOwned(rec)
 		bytes += int64(len(rec))
 	}
 	if err := w.Close(); err != nil {
@@ -339,8 +344,14 @@ func (c *Chain) writeCheckpoint(i int, name, file string, out [][]byte, st *Stat
 	// checkpoint byte counter — vary run to run. They are zeroed so
 	// recovery cost reconciles exactly against a clean run; a resumed
 	// job therefore reports zero walls, which is also what it spent.
+	// The Spill* counters are likewise excluded: they record local,
+	// DFS-uncharged scratch traffic, and persisting them would make the
+	// charged meta-record length — a paper-level cost figure — depend on
+	// whether the run spilled, breaking the contract that SpillBudget
+	// never changes any charged byte.
 	ms := *st
 	ms.MapWall, ms.ReduceWall, ms.TotalWall = 0, 0, 0
+	ms.SpilledRuns, ms.SpillBytesWritten, ms.SpillBytesRead = 0, 0, 0
 	js, err := json.Marshal(chainMeta{Step: i, Name: name, Records: int64(len(out)), Stats: &ms})
 	if err != nil {
 		return err

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mwsjoin/internal/dfs"
 	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/trace"
 )
@@ -114,6 +115,25 @@ type Config struct {
 	// map/reduce task-latency histograms, and the per-job imbalance
 	// factor. A nil registry costs nothing.
 	Metrics *metrics.Registry
+	// Pool, when non-nil, recycles the engine's large scratch buffers —
+	// sorted-run pair slices, radix scratch, merge-tree intermediates,
+	// merged reducer inputs — across task attempts and jobs; see
+	// BufferPool for the lifecycle rules. Results and Stats are
+	// bit-identical with and without it. When set, Reduce must not
+	// retain its values slice after returning.
+	Pool *BufferPool
+	// SpillBudget, when positive, bounds the bytes (as measured by
+	// Job.PairBytes) a mapper keeps in memory for one finalized sorted
+	// run: a run over the budget is written to local-disk scratch on
+	// SpillFS and re-read by the shuffle's merge, so larger-than-RAM
+	// shuffles complete instead of OOMing. Spilling requires SpillFS
+	// plus the job's EncodePair/DecodePair codec and PairBytes; jobs
+	// missing any of those never spill. Results and every non-Spill*
+	// Stats field are bit-identical with and without spilling.
+	SpillBudget int64
+	// SpillFS hosts spilled runs as uncharged local scratch (see
+	// dfs.CreateLocal); required when SpillBudget is positive.
+	SpillFS *dfs.FS
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -135,6 +155,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.SlowTask != nil && cfg.StragglerDelay <= 0 {
 		cfg.StragglerDelay = 2 * time.Millisecond
+	}
+	if cfg.SpillBudget > 0 && cfg.SpillFS == nil {
+		return cfg, fmt.Errorf("mapreduce: job %q: SpillBudget set without SpillFS", cfg.Name)
 	}
 	return cfg, nil
 }
@@ -158,6 +181,16 @@ type Stats struct {
 	// their difference is the shuffle traffic the combiner saved.
 	CombineInputPairs  int64
 	CombineOutputPairs int64
+	// SpilledRuns, SpillBytesWritten and SpillBytesRead count the
+	// map-side sorted runs that exceeded Config.SpillBudget and were
+	// staged on local-disk scratch until the merge re-read them. Spill
+	// I/O is local traffic, uncharged to the DFS counters, so every
+	// other field is identical whether a shuffle spilled or stayed in
+	// memory. Omitted from JSON when zero, so non-spilling runs (and
+	// their chain-checkpoint metadata) serialize exactly as before.
+	SpilledRuns       int64 `json:",omitempty"`
+	SpillBytesWritten int64 `json:",omitempty"`
+	SpillBytesRead    int64 `json:",omitempty"`
 	// PairsPerReducer measures reducer load balance: entry i is the
 	// number of intermediate pairs routed to reducer i.
 	PairsPerReducer []int64
@@ -218,6 +251,9 @@ func (s *Stats) Add(o *Stats) {
 	s.ReduceFailures += o.ReduceFailures
 	s.CombineInputPairs += o.CombineInputPairs
 	s.CombineOutputPairs += o.CombineOutputPairs
+	s.SpilledRuns += o.SpilledRuns
+	s.SpillBytesWritten += o.SpillBytesWritten
+	s.SpillBytesRead += o.SpillBytesRead
 	s.MapWall += o.MapWall
 	s.ReduceWall += o.ReduceWall
 	s.TotalWall += o.TotalWall
@@ -260,6 +296,14 @@ type Job[I any, K cmp.Ordered, V any, O any] struct {
 	// PairBytes sizes an intermediate pair for the byte counters; nil
 	// counts pairs only.
 	PairBytes func(key K, value V) int
+	// EncodePair appends the wire encoding of one intermediate pair to
+	// buf and returns the extended slice; DecodePair parses one such
+	// record back. Together they are the codec that lets map-side
+	// sorted runs spill to local disk under Config.SpillBudget — the
+	// engine frames records itself, one per pair, preserving run
+	// order. Jobs without the codec never spill.
+	EncodePair func(key K, value V, buf []byte) []byte
+	DecodePair func(rec []byte) (K, V, error)
 }
 
 // pair is one intermediate key-value emitted by a mapper.
@@ -276,6 +320,13 @@ type pairBatch[K cmp.Ordered, V any] struct {
 	bytes      int64 // Σ PairBytes over pairs; 0 when PairBytes is nil
 	combineIn  int64 // pairs fed to Combine
 	combineOut int64 // pairs Combine kept
+	// spill names the local scratch file holding this run when it
+	// exceeded Config.SpillBudget; pairs is then nil until the shuffle
+	// re-reads it. n and spillBytes record the spilled pair count and
+	// encoded size.
+	spill      string
+	spillBytes int64
+	n          int
 }
 
 // legacyGrouping switches the engine back to the pre-pipeline shuffle:
@@ -293,18 +344,19 @@ var legacyGrouping bool
 // and the PairBytes accounting folded in. rank, when non-nil, selects
 // the linear radix run sort; otherwise a comparison stable sort is
 // used.
-func finalizeRun[K cmp.Ordered, V any](b *pairBatch[K, V], rank func(K) uint64, combine func(K, []V) []V, pairBytes func(K, V) int) {
+func finalizeRun[K cmp.Ordered, V any](b *pairBatch[K, V], rank func(K) uint64, combine func(K, []V) []V, pairBytes func(K, V) int, pool *BufferPool) {
 	ps := b.pairs
 	if len(ps) == 0 {
 		return
 	}
 	if rank != nil {
-		ps = radixSortPairs(ps, rank)
+		ps = radixSortPairs(ps, rank, pool)
 		b.pairs = ps
 	} else if !slices.IsSortedFunc(ps, func(a, b pair[K, V]) int { return cmp.Compare(a.key, b.key) }) {
 		slices.SortStableFunc(ps, func(a, b pair[K, V]) int { return cmp.Compare(a.key, b.key) })
 	}
 	if combine != nil {
+		orig := ps
 		var scratch []V
 		dst := ps[:0]
 		aliased := true // dst still shares ps's backing array
@@ -332,6 +384,11 @@ func finalizeRun[K cmp.Ordered, V any](b *pairBatch[K, V], rank func(K) uint64, 
 			}
 			lo = hi
 		}
+		if !aliased {
+			// The combiner moved the run to a fresh backing array; the
+			// original buffer is dead and can be recycled.
+			putPairs(pool, orig)
+		}
 		b.pairs = dst
 		ps = dst
 	}
@@ -356,8 +413,8 @@ type reducerInput[K cmp.Ordered, V any] struct {
 // groupStarts indexes the contiguous key groups of a merged reducer
 // input: group g spans keys[starts[g]:starts[g+1]]. keys must be
 // non-empty and key-sorted.
-func groupStarts[K cmp.Ordered](keys []K) []int {
-	starts := make([]int, 1, 16)
+func groupStarts[K cmp.Ordered](keys []K, pool *BufferPool) []int {
+	starts := append(getInts(pool, 16), 0)
 	for i := 1; i < len(keys); i++ {
 		if keys[i] != keys[i-1] {
 			starts = append(starts, i)
@@ -420,6 +477,13 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		MapInputRecords: int64(len(input)),
 		PairsPerReducer: make([]int64, cfg.NumReducers),
 	}
+	pool := cfg.Pool
+	// Spilling needs the pair codec to stage runs on disk and PairBytes
+	// to size the budget decision; the legacy reference path predates
+	// (and ignores) both pooling and spilling.
+	spilling := cfg.SpillBudget > 0 && j.EncodePair != nil && j.DecodePair != nil &&
+		j.PairBytes != nil && !legacyGrouping
+	var spillSeq atomic.Int64 // attempt-unique scratch file names
 	ranker := keyRanker[K]()
 	start := time.Now()
 	tr := cfg.Tracer
@@ -474,6 +538,9 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				if r < 0 || r >= cfg.NumReducers {
 					panic(fmt.Sprintf("mapreduce: job %q: partitioner sent key %v to reducer %d of %d", cfg.Name, k, r, cfg.NumReducers))
 				}
+				if out[r].pairs == nil {
+					out[r].pairs = getPairs[K, V](pool, 0)
+				}
 				out[r].pairs = append(out[r].pairs, pair[K, V]{key: k, val: v})
 			}
 			for i := lo; i < hi && a.err == nil; i++ {
@@ -491,7 +558,16 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				// and byte accounting is discarded with its batch, never
 				// leaked into Stats.
 				for r := range out {
-					finalizeRun(&out[r], ranker, j.Combine, j.PairBytes)
+					finalizeRun(&out[r], ranker, j.Combine, j.PairBytes, pool)
+					if spilling && out[r].bytes > cfg.SpillBudget && len(out[r].pairs) > 0 {
+						// Over-budget runs move to local scratch right
+						// here, inside the attempt, so the mapper's
+						// memory is bounded no matter how many attempts
+						// race or retry; attempt-unique names keep
+						// concurrent racers' scratch apart.
+						name := fmt.Sprintf("spill/%s/run-%d", cfg.Name, spillSeq.Add(1))
+						spillBatch(&out[r], cfg.SpillFS, name, j.EncodePair, pool)
+					}
 				}
 			}
 			a.res = out
@@ -515,8 +591,15 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			if timed {
 				logRace(&mapLogs[m], won, lost, raced, backupWon, injected)
 			}
+			if raced {
+				// The losing racer has fully completed (raceAttempt
+				// awaits both), so its runs can be recycled and its
+				// scratch deleted without aliasing the winner's output.
+				recycleBatches(pool, cfg.SpillFS, lost.res)
+			}
 			if injected {
 				failures[m]++
+				recycleBatches(pool, cfg.SpillFS, won.res)
 				if attempt == cfg.MaxAttempts {
 					mapErrs[m] = fmt.Errorf("mapreduce: job %q: mapper %d failed after %d attempts", cfg.Name, m, attempt)
 					return
@@ -524,6 +607,7 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 				continue // discard output, retry
 			}
 			if won.err != nil {
+				recycleBatches(pool, cfg.SpillFS, won.res)
 				mapErrs[m] = fmt.Errorf("mapreduce: job %q: mapper %d: %w", cfg.Name, m, won.err)
 				return
 			}
@@ -562,8 +646,24 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		}
 	}
 	tr.End(mapSpan)
+	// discardSpills removes committed mappers' scratch on the abort
+	// paths below, where the shuffle will never consume it.
+	discardSpills := func() {
+		if !spilling {
+			return
+		}
+		for m := range batches {
+			for r := range batches[m] {
+				if batches[m][r].spill != "" {
+					_ = cfg.SpillFS.Delete(batches[m][r].spill)
+					batches[m][r].spill = ""
+				}
+			}
+		}
+	}
 	for m, err := range mapErrs {
 		if err != nil {
+			discardSpills()
 			return nil, nil, fmt.Errorf("%w (mapper %d)", err, m)
 		}
 	}
@@ -571,7 +671,22 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	// A cancellation landing between phases stops before the shuffle, so
 	// no intermediate pair of this job is ever counted as shuffled.
 	if err := cancelled(); err != nil {
+		discardSpills()
 		return nil, nil, err
+	}
+	if spilling {
+		// Spill accounting is committed-batch-scoped like every other
+		// counter: discarded attempts deleted their scratch above, and
+		// each surviving run is written and read exactly once.
+		for m := range batches {
+			for r := range batches[m] {
+				if batches[m][r].spill != "" {
+					stats.SpilledRuns++
+					stats.SpillBytesWritten += batches[m][r].spillBytes
+					stats.SpillBytesRead += batches[m][r].spillBytes
+				}
+			}
+		}
 	}
 
 	// ---- shuffle: parallel k-way merge of the sorted mapper runs ----
@@ -613,18 +728,41 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			}
 		}
 	} else {
+		var shufErrs []error
+		if spilling {
+			shufErrs = make([]error, cfg.NumReducers)
+		}
 		runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) {
+			if spilling {
+				// Materialize this reducer's spilled runs just before
+				// they are merged, one reducer at a time, so peak memory
+				// stays bounded by the merge working set.
+				for m := 0; m < nm; m++ {
+					if batches[m][r].spill != "" {
+						if err := readSpill(&batches[m][r], cfg.SpillFS, j.DecodePair, pool); err != nil {
+							shufErrs[r] = err
+							return
+						}
+					}
+				}
+			}
 			var total int
 			var nbytes int64
 			for m := 0; m < nm; m++ {
 				total += len(batches[m][r].pairs)
 				nbytes += batches[m][r].bytes
 			}
-			rin[r] = mergeRuns(batches, r, total)
+			rin[r] = mergeRuns(batches, r, total, pool)
 			if bytesPerReducer != nil {
 				bytesPerReducer[r] = nbytes
 			}
 		})
+		for _, err := range shufErrs {
+			if err != nil {
+				discardSpills()
+				return nil, nil, err
+			}
+		}
 		for r := 0; r < cfg.NumReducers; r++ {
 			n := int64(len(rin[r].keys))
 			stats.PairsPerReducer[r] = n
@@ -648,6 +786,13 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		tr.Add(shuffleSpan, "reducers", int64(cfg.NumReducers))
 		tr.Add(shuffleSpan, "max_reducer_pairs", maxPairs)
 		tr.Add(shuffleSpan, "hot_reducer", hot)
+		if stats.SpilledRuns > 0 {
+			// Attached only when something spilled, so traces of
+			// in-memory shuffles are byte-identical to before.
+			tr.Add(shuffleSpan, "spilled_runs", stats.SpilledRuns)
+			tr.Add(shuffleSpan, "spill_bytes_written", stats.SpillBytesWritten)
+			tr.Add(shuffleSpan, "spill_bytes_read", stats.SpillBytesRead)
+		}
 	}
 
 	// ---- reduce phase ----
@@ -686,7 +831,10 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			lgroups, lkeys = legacyGroups(in)
 			nkeys = len(lkeys)
 		} else {
-			starts = groupStarts(in.keys)
+			starts = groupStarts(in.keys, pool)
+			// All attempts (retries and awaited speculative racers)
+			// share the immutable view; recycle once the task is done.
+			defer putInts(pool, starts)
 			nkeys = len(starts) - 1
 		}
 		var delay time.Duration
@@ -758,6 +906,15 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			return
 		}
 	})
+	// The reduce phase — every retry and speculative racer included —
+	// has committed; the merged inputs are dead (outputs are freshly
+	// appended []O and Reduce must not retain the values slice when a
+	// pool is set), so the big key/value arrays recycle here.
+	for r := range rin {
+		putKeys(pool, rin[r].keys)
+		putVals(pool, rin[r].vals)
+		rin[r] = reducerInput[K, V]{}
+	}
 	var redSpec int64
 	for r := range redAttempts {
 		stats.ReduceAttempts += redAttempts[r]
@@ -854,6 +1011,13 @@ func recordMetrics(m *metrics.Registry, stats *Stats, hasCombine, speculative bo
 		// non-speculative workloads are unchanged. Kept out of Stats
 		// entirely: speculation must not perturb result accounting.
 		m.Counter("mapreduce_speculative_attempts_total").Add(spec)
+	}
+	if stats.SpilledRuns > 0 {
+		// Registered only when something spilled, so scrapes of
+		// in-memory workloads are byte-identical to before.
+		m.Counter("mapreduce_spilled_runs_total").Add(stats.SpilledRuns)
+		m.Counter("mapreduce_spill_bytes_written_total").Add(stats.SpillBytesWritten)
+		m.Counter("mapreduce_spill_bytes_read_total").Add(stats.SpillBytesRead)
 	}
 
 	pairsH := m.Histogram("mapreduce_reducer_pairs")

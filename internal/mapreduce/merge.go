@@ -15,7 +15,13 @@ import "cmp"
 // sift-down for the small fan-ins (≤ NumMappers) the engine produces.
 // Merging adjacent runs with left preference on ties preserves mapper
 // order at every level.
-func mergeRuns[K cmp.Ordered, V any](batches [][]pairBatch[K, V], r, total int) reducerInput[K, V] {
+//
+// Every run the merge consumes — the mappers' level-0 runs and the
+// tree's own intermediates — is dead the moment its two-run merge
+// completes, so it is returned to the pool right there; the final
+// key/value arrays come from the pool too. A nil pool allocates
+// exactly like before.
+func mergeRuns[K cmp.Ordered, V any](batches [][]pairBatch[K, V], r, total int, pool *BufferPool) reducerInput[K, V] {
 	if total == 0 {
 		return reducerInput[K, V]{}
 	}
@@ -29,7 +35,7 @@ func mergeRuns[K cmp.Ordered, V any](batches [][]pairBatch[K, V], r, total int) 
 	for len(runs) > 2 {
 		half := runs[:0]
 		for i := 0; i+1 < len(runs); i += 2 {
-			half = append(half, merge2(runs[i], runs[i+1]))
+			half = append(half, merge2(runs[i], runs[i+1], pool))
 		}
 		if len(runs)%2 == 1 {
 			half = append(half, runs[len(runs)-1])
@@ -37,13 +43,14 @@ func mergeRuns[K cmp.Ordered, V any](batches [][]pairBatch[K, V], r, total int) 
 		runs = half
 	}
 
-	keys := make([]K, 0, total)
-	vals := make([]V, 0, total)
+	keys := getKeys[K](pool, total)
+	vals := getVals[V](pool, total)
 	if len(runs) == 1 {
 		for i := range runs[0] {
 			keys = append(keys, runs[0][i].key)
 			vals = append(vals, runs[0][i].val)
 		}
+		putPairs(pool, runs[0])
 		return reducerInput[K, V]{keys: keys, vals: vals}
 	}
 	// Final level writes straight into the key/value layout the reduce
@@ -69,13 +76,15 @@ func mergeRuns[K cmp.Ordered, V any](batches [][]pairBatch[K, V], r, total int) 
 		keys = append(keys, b[j].key)
 		vals = append(vals, b[j].val)
 	}
+	putPairs(pool, a)
+	putPairs(pool, b)
 	return reducerInput[K, V]{keys: keys, vals: vals}
 }
 
 // merge2 merges two key-sorted runs, preferring a on ties so earlier
-// mappers stay first.
-func merge2[K cmp.Ordered, V any](a, b []pair[K, V]) []pair[K, V] {
-	out := make([]pair[K, V], 0, len(a)+len(b))
+// mappers stay first. Both inputs are consumed and recycled.
+func merge2[K cmp.Ordered, V any](a, b []pair[K, V], pool *BufferPool) []pair[K, V] {
+	out := getPairs[K, V](pool, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if cmp.Compare(a[i].key, b[j].key) <= 0 {
@@ -87,5 +96,8 @@ func merge2[K cmp.Ordered, V any](a, b []pair[K, V]) []pair[K, V] {
 		}
 	}
 	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
+	out = append(out, b[j:]...)
+	putPairs(pool, a)
+	putPairs(pool, b)
+	return out
 }

@@ -361,7 +361,7 @@ func TestRadixMatchesComparisonSort(t *testing.T) {
 		want := make([]pair[int64, int64], n)
 		copy(want, ps)
 		slicesStableByKey(want)
-		got := radixSortPairs(ps, rank)
+		got := radixSortPairs(ps, rank, nil)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("trial %d (n=%d span=%d): radix order differs", trial, n, span)
 		}

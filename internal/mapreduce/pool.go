@@ -1,0 +1,226 @@
+package mapreduce
+
+import (
+	"cmp"
+	"sync"
+)
+
+// BufferPool recycles the engine's large scratch buffers across jobs
+// and task attempts: map-side sorted-run pair slices, radix-sort
+// scratch, merge-tree intermediates, group-boundary indexes, and the
+// merged per-reducer key/value slices. At paper scale those buffers
+// dominate the allocation profile — a pool turns the per-job churn
+// into a handful of steady-state arrays. Pass one via Config.Pool;
+// the same pool may (and should) serve every job of an execution.
+//
+// Lifecycle rules (DESIGN.md §4g):
+//
+//   - A buffer is recycled only where the engine holds the sole live
+//     reference: discarded fault-injection attempts and lost
+//     speculative racers (raceAttempt waits for both racers, so the
+//     loser has fully stopped touching its buffers before the discard),
+//     runs consumed by the merge tree, spilled runs after their
+//     re-read, and reducer inputs after the whole reduce phase — every
+//     retry and backup attempt included — has committed.
+//   - Recycled buffers never alias committed output: reducer outputs
+//     are freshly appended []O slices, and when a pool is set Reduce
+//     implementations must not retain the values slice (or subslices
+//     of it) after returning — copy what they keep, which every
+//     reducer in this repository already does.
+//   - Pools are type-erased (free lists of boxed slices): a Get whose
+//     concrete type does not match the requesting job's K/V
+//     instantiation is dropped on the floor, so one pool safely serves
+//     heterogeneous job pipelines; the pool simply converges to the
+//     types that dominate.
+//
+// The free lists are deliberately NOT sync.Pools: a paper-scale shuffle
+// allocates hundreds of megabytes per job, so the garbage collector
+// runs many cycles mid-job and would evict sync.Pool entries between
+// the merge phase's Put and the next job's map-phase Get — measured on
+// the 1M-pair bench, that eviction forfeits most of the pooling win.
+// Recycling here is explicit (sole-reference points only), so plain
+// mutex-guarded stacks are safe, and each list is bounded so a one-off
+// giant job cannot pin its scratch forever.
+//
+// A nil *BufferPool is valid everywhere and allocates exactly like the
+// pool-free engine. BufferPool is safe for concurrent use.
+type BufferPool struct {
+	pairs freeList // *[]pair[K, V]
+	keys  freeList // *[]K
+	vals  freeList // *[]V
+	u64s  freeList // *[]uint64 — radix rank scratch
+	u32s  freeList // *[]uint32 — radix count scratch
+	ints  freeList // *[]int — reduce group-boundary indexes
+}
+
+// maxPoolItems bounds each free list: at most this many buffers are
+// retained per kind (a shuffle's steady state is one buffer per live
+// (mapper, reducer) run plus merge-tree intermediates, far below the
+// bound); further Puts are dropped for the collector.
+const maxPoolItems = 2048
+
+// freeList is a bounded LIFO of boxed slices. Get returns nil when
+// empty; the caller type-asserts and falls back to allocation.
+type freeList struct {
+	mu    sync.Mutex
+	items []any
+}
+
+func (f *freeList) Get() any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := len(f.items); n > 0 {
+		it := f.items[n-1]
+		f.items[n-1] = nil
+		f.items = f.items[:n-1]
+		return it
+	}
+	return nil
+}
+
+func (f *freeList) Put(it any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.items) < maxPoolItems {
+		f.items = append(f.items, it)
+	}
+}
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool { return &BufferPool{} }
+
+// getPairs returns an empty pair slice for appending, recycled when
+// the pool has one of the right type (whatever its capacity — the pool
+// converges to the workload's run sizes), freshly allocated with the
+// given capacity otherwise.
+func getPairs[K cmp.Ordered, V any](p *BufferPool, capacity int) []pair[K, V] {
+	if p != nil {
+		if v, ok := p.pairs.Get().(*[]pair[K, V]); ok && v != nil {
+			return (*v)[:0]
+		}
+	}
+	return make([]pair[K, V], 0, capacity)
+}
+
+// getPairsLen returns a pair slice of length n for indexed writes.
+func getPairsLen[K cmp.Ordered, V any](p *BufferPool, n int) []pair[K, V] {
+	if p != nil {
+		if v, ok := p.pairs.Get().(*[]pair[K, V]); ok && v != nil && cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]pair[K, V], n)
+}
+
+func putPairs[K cmp.Ordered, V any](p *BufferPool, s []pair[K, V]) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.pairs.Put(&s)
+}
+
+func getKeys[K cmp.Ordered](p *BufferPool, capacity int) []K {
+	if p != nil {
+		if v, ok := p.keys.Get().(*[]K); ok && v != nil {
+			return (*v)[:0]
+		}
+	}
+	return make([]K, 0, capacity)
+}
+
+func putKeys[K cmp.Ordered](p *BufferPool, s []K) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.keys.Put(&s)
+}
+
+func getVals[V any](p *BufferPool, capacity int) []V {
+	if p != nil {
+		if v, ok := p.vals.Get().(*[]V); ok && v != nil {
+			return (*v)[:0]
+		}
+	}
+	return make([]V, 0, capacity)
+}
+
+func putVals[V any](p *BufferPool, s []V) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.vals.Put(&s)
+}
+
+// getU64s returns a length-n scratch slice; contents are arbitrary.
+func getU64s(p *BufferPool, n int) []uint64 {
+	if p != nil {
+		if v, ok := p.u64s.Get().(*[]uint64); ok && v != nil && cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+func putU64s(p *BufferPool, s []uint64) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.u64s.Put(&s)
+}
+
+// getU32sZero returns a length-n scratch slice with every element
+// zeroed (the radix counting pass requires clean counters).
+func getU32sZero(p *BufferPool, n int) []uint32 {
+	if p != nil {
+		if v, ok := p.u32s.Get().(*[]uint32); ok && v != nil && cap(*v) >= n {
+			s := (*v)[:n]
+			clear(s)
+			return s
+		}
+	}
+	return make([]uint32, n)
+}
+
+func putU32s(p *BufferPool, s []uint32) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.u32s.Put(&s)
+}
+
+func getInts(p *BufferPool, capacity int) []int {
+	if p != nil {
+		if v, ok := p.ints.Get().(*[]int); ok && v != nil {
+			return (*v)[:0]
+		}
+	}
+	return make([]int, 0, capacity)
+}
+
+func putInts(p *BufferPool, s []int) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.ints.Put(&s)
+}
+
+// recycleBatches returns a discarded attempt's run buffers to the pool
+// and removes any runs it spilled: the attempt is fully complete (a
+// lost speculative racer has been awaited, a failed attempt has
+// returned), so the engine holds the only reference.
+func recycleBatches[K cmp.Ordered, V any](p *BufferPool, fs spillStore, batches []pairBatch[K, V]) {
+	for r := range batches {
+		putPairs(p, batches[r].pairs)
+		batches[r].pairs = nil
+		if batches[r].spill != "" {
+			fs.Delete(batches[r].spill)
+			batches[r].spill = ""
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package mapreduce
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; see race_enabled_test.go.
+const raceEnabled = false

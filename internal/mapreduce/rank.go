@@ -65,13 +65,16 @@ func keyRanker[K cmp.Ordered]() func(K) uint64 {
 // sort whose digit width adapts to the run's rank span, so narrow key
 // ranges (a handful of cells in one reducer) cost a single counting
 // pass and already-sorted runs cost only the scan that discovers them.
-// Returns the sorted slice, which may be a freshly allocated buffer.
-func radixSortPairs[K cmp.Ordered, V any](ps []pair[K, V], rank func(K) uint64) []pair[K, V] {
+// Returns the sorted slice, which may be a different (possibly pooled)
+// buffer than the input; the scratch buffers — including whichever of
+// ps/tmp is not returned — are recycled before returning, so with a
+// warm pool the steady-state sort allocates nothing.
+func radixSortPairs[K cmp.Ordered, V any](ps []pair[K, V], rank func(K) uint64, pool *BufferPool) []pair[K, V] {
 	n := len(ps)
 	if n < 2 {
 		return ps
 	}
-	ranks := make([]uint64, n)
+	ranks := getU64s(pool, n)
 	lo, hi := rank(ps[0].key), rank(ps[0].key)
 	sorted := true
 	for i := range ps {
@@ -88,6 +91,7 @@ func radixSortPairs[K cmp.Ordered, V any](ps []pair[K, V], rank func(K) uint64) 
 		}
 	}
 	if sorted {
+		putU64s(pool, ranks)
 		return ps
 	}
 	span := hi - lo
@@ -98,9 +102,9 @@ func radixSortPairs[K cmp.Ordered, V any](ps []pair[K, V], rank func(K) uint64) 
 	width := (nbits + passes - 1) / passes
 	mask := uint64(1)<<width - 1
 
-	tmp := make([]pair[K, V], n)
-	tmpRanks := make([]uint64, n)
-	counts := make([]uint32, 1<<width)
+	tmp := getPairsLen[K, V](pool, n)
+	tmpRanks := getU64s(pool, n)
+	counts := getU32sZero(pool, 1<<width)
 	for p := 0; p < passes; p++ {
 		shift := p * width
 		clear(counts)
@@ -122,5 +126,10 @@ func radixSortPairs[K cmp.Ordered, V any](ps []pair[K, V], rank func(K) uint64) 
 		ps, tmp = tmp, ps
 		ranks, tmpRanks = tmpRanks, ranks
 	}
+	// After the swaps, tmp is whichever buffer does not hold the result.
+	putPairs(pool, tmp)
+	putU64s(pool, ranks)
+	putU64s(pool, tmpRanks)
+	putU32s(pool, counts)
 	return ps
 }

@@ -1,0 +1,374 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mwsjoin/internal/dfs"
+)
+
+// spillTestJob builds an integer aggregation job with the full spill
+// kit: PairBytes pricing plus the pair codec. Keys fan out over a
+// keyspace of 101, values sum per key, so output correctness is easy
+// to cross-check between configurations.
+func spillTestJob(cfg Config) *Job[int64, int64, int64, string] {
+	return &Job[int64, int64, int64, string]{
+		Config: cfg,
+		Map: func(x int64, emit func(int64, int64)) error {
+			for s := int64(0); s < 4; s++ {
+				emit((x*31+s*7)%101, x)
+			}
+			return nil
+		},
+		Partition: func(k int64, n int) int { return int(k % int64(n)) },
+		Reduce: func(k int64, vs []int64, emit func(string)) error {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			emit(fmt.Sprintf("%d=%d(%d)", k, sum, len(vs)))
+			return nil
+		},
+		PairBytes: func(int64, int64) int { return 16 },
+		EncodePair: func(k, v int64, buf []byte) []byte {
+			var rec [16]byte
+			binary.LittleEndian.PutUint64(rec[0:], uint64(k))
+			binary.LittleEndian.PutUint64(rec[8:], uint64(v))
+			return append(buf, rec[:]...)
+		},
+		DecodePair: func(rec []byte) (int64, int64, error) {
+			if len(rec) != 16 {
+				return 0, 0, fmt.Errorf("pair record has %d bytes, want 16", len(rec))
+			}
+			return int64(binary.LittleEndian.Uint64(rec[0:])),
+				int64(binary.LittleEndian.Uint64(rec[8:])), nil
+		},
+	}
+}
+
+func spillInput(n int) []int64 {
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	return in
+}
+
+// TestSpillEquivalence is the tentpole's correctness oracle for the
+// spill path: a job forced to spill every run (1-byte budget) must
+// produce bit-identical output and — aside from the Spill* counters —
+// bit-identical Stats to the in-memory run, across parallelism levels,
+// with and without a buffer pool, under fault injection, and under
+// speculative execution.
+func TestSpillEquivalence(t *testing.T) {
+	input := spillInput(400)
+	for _, par := range []int{1, 2, 8} {
+		for _, variant := range []string{"plain", "pooled", "faults", "speculative"} {
+			t.Run(fmt.Sprintf("par=%d/%s", par, variant), func(t *testing.T) {
+				base := Config{Name: "spill", NumReducers: 7, NumMappers: 4, Parallelism: par}
+				switch variant {
+				case "pooled":
+					base.Pool = NewBufferPool()
+				case "faults":
+					base.MaxAttempts = 3
+					base.FailMap = func(_, attempt int) bool { return attempt < 3 }
+					base.FailReduce = func(_, attempt int) bool { return attempt < 3 }
+				case "speculative":
+					base.Speculative = true
+				}
+
+				cleanOut, clean, err := spillTestJob(base).Run(input)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if clean.SpilledRuns != 0 {
+					t.Fatalf("in-memory run reported %d spilled runs", clean.SpilledRuns)
+				}
+
+				fs := dfs.New(0)
+				spilled := base
+				spilled.SpillBudget = 1 // every non-empty run spills
+				spilled.SpillFS = fs
+				out, st, err := spillTestJob(spilled).Run(input)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if !reflect.DeepEqual(out, cleanOut) {
+					t.Error("output differs between spilled and in-memory shuffle")
+				}
+				if st.SpilledRuns == 0 {
+					t.Error("1-byte budget spilled nothing")
+				}
+				if st.SpillBytesWritten != st.SpilledRuns*0 && st.SpillBytesWritten != st.SpillBytesRead {
+					t.Errorf("spill bytes written %d != read %d", st.SpillBytesWritten, st.SpillBytesRead)
+				}
+				// Committed-batch accounting: every surviving pair crossed
+				// the spill at 16 encoded bytes.
+				if want := st.IntermediatePairs * 16; st.SpillBytesWritten != want {
+					t.Errorf("SpillBytesWritten = %d, want %d (16 bytes × %d pairs)",
+						st.SpillBytesWritten, want, st.IntermediatePairs)
+				}
+				norm, cleanNorm := *st, *clean
+				zeroWalls(&norm)
+				zeroWalls(&cleanNorm)
+				norm.SpilledRuns, norm.SpillBytesWritten, norm.SpillBytesRead = 0, 0, 0
+				if !reflect.DeepEqual(norm, cleanNorm) {
+					t.Errorf("Stats leak under spilling:\n spilled %+v\n clean   %+v", norm, cleanNorm)
+				}
+
+				// Every scratch file was consumed and deleted; nothing was
+				// ever charged to the simulated DFS.
+				if names := fs.List(); len(names) != 0 {
+					t.Errorf("scratch files left behind: %v", names)
+				}
+				if dst := fs.Stats(); dst != (dfs.Stats{}) {
+					t.Errorf("spill I/O charged DFS Stats %+v, want all zero", dst)
+				}
+			})
+		}
+	}
+}
+
+// TestSpillBudgetThreshold checks that only over-budget runs spill: a
+// generous budget keeps everything in memory even with the codec wired.
+func TestSpillBudgetThreshold(t *testing.T) {
+	fs := dfs.New(0)
+	cfg := Config{Name: "nospill", NumReducers: 4, NumMappers: 2,
+		SpillBudget: 1 << 30, SpillFS: fs}
+	_, st, err := spillTestJob(cfg).Run(spillInput(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpilledRuns != 0 || st.SpillBytesWritten != 0 {
+		t.Errorf("generous budget spilled %d runs / %d bytes", st.SpilledRuns, st.SpillBytesWritten)
+	}
+}
+
+// TestSpillWithoutCodecNeverSpills: a budget with no EncodePair/
+// DecodePair must run in memory (jobs without the codec can't spill).
+func TestSpillWithoutCodecNeverSpills(t *testing.T) {
+	fs := dfs.New(0)
+	cfg := Config{Name: "nocodec", NumReducers: 4, NumMappers: 2,
+		SpillBudget: 1, SpillFS: fs}
+	j := spillTestJob(cfg)
+	j.EncodePair = nil
+	j.DecodePair = nil
+	ref := spillTestJob(Config{Name: "nocodec", NumReducers: 4, NumMappers: 2})
+	want, _, err := ref.Run(spillInput(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := j.Run(spillInput(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpilledRuns != 0 {
+		t.Errorf("codec-less job spilled %d runs", st.SpilledRuns)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("codec-less output differs")
+	}
+}
+
+// TestSpillConfigValidation: a budget without a scratch FS is a
+// configuration error, caught before any work runs.
+func TestSpillConfigValidation(t *testing.T) {
+	cfg := Config{Name: "bad", NumReducers: 2, SpillBudget: 1}
+	if _, _, err := spillTestJob(cfg).Run(spillInput(10)); err == nil {
+		t.Fatal("SpillBudget without SpillFS should fail")
+	}
+}
+
+// TestSpillDecodeErrorSurfaces: a poisoned codec must abort the job
+// with the decode error and still clean up its scratch.
+func TestSpillDecodeErrorSurfaces(t *testing.T) {
+	fs := dfs.New(0)
+	cfg := Config{Name: "poison", NumReducers: 2, NumMappers: 2,
+		SpillBudget: 1, SpillFS: fs}
+	j := spillTestJob(cfg)
+	j.DecodePair = func([]byte) (int64, int64, error) {
+		return 0, 0, fmt.Errorf("poisoned record")
+	}
+	if _, _, err := j.Run(spillInput(50)); err == nil {
+		t.Fatal("poisoned decode should fail the job")
+	}
+	if names := fs.List(); len(names) != 0 {
+		t.Errorf("scratch files left behind after decode failure: %v", names)
+	}
+}
+
+// TestPooledEquivalence: Config.Pool must not change output or Stats —
+// across parallelism, faults, speculation, and repeated runs on the
+// same (warm) pool.
+func TestPooledEquivalence(t *testing.T) {
+	input := spillInput(300)
+	for _, par := range []int{1, 2, 8} {
+		for _, variant := range []string{"plain", "faults", "speculative"} {
+			t.Run(fmt.Sprintf("par=%d/%s", par, variant), func(t *testing.T) {
+				base := Config{Name: "pool", NumReducers: 5, NumMappers: 4, Parallelism: par}
+				switch variant {
+				case "faults":
+					base.MaxAttempts = 3
+					base.FailMap = func(_, attempt int) bool { return attempt < 3 }
+					base.FailReduce = func(_, attempt int) bool { return attempt < 3 }
+				case "speculative":
+					base.Speculative = true
+				}
+				cleanOut, clean, err := spillTestJob(base).Run(input)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pooled := base
+				pooled.Pool = NewBufferPool()
+				// Three runs on one pool: first fills it, later runs hit
+				// recycled buffers of every type.
+				for round := 0; round < 3; round++ {
+					out, st, err := spillTestJob(pooled).Run(input)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(out, cleanOut) {
+						t.Errorf("round %d: pooled output differs", round)
+					}
+					norm, cleanNorm := *st, *clean
+					zeroWalls(&norm)
+					zeroWalls(&cleanNorm)
+					if !reflect.DeepEqual(norm, cleanNorm) {
+						t.Errorf("round %d: pooled Stats differ:\n pooled %+v\n clean  %+v", round, norm, cleanNorm)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPooledSpillWordCount exercises the pool+spill combination on the
+// comparison-sort (string-key) path as well, where the radix ranker is
+// unavailable — strings take the slices.SortStableFunc fallback, whose
+// scratch is not pooled, so this guards the mixed regime.
+func TestPooledSpillWordCount(t *testing.T) {
+	fs := dfs.New(0)
+	input := specInput()
+	base := Config{Name: "wc", NumReducers: 5, NumMappers: 4, Parallelism: 4}
+	want, clean, err := combineWordCountJob(base).Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Pool = NewBufferPool()
+	cfg.SpillBudget = 1
+	cfg.SpillFS = fs
+	j := combineWordCountJob(cfg)
+	j.PairBytes = func(k string, _ int) int { return len(k) + 4 }
+	j.EncodePair = func(k string, v int, buf []byte) []byte {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(v))
+		buf = append(buf, n[:]...)
+		return append(buf, k...)
+	}
+	j.DecodePair = func(rec []byte) (string, int, error) {
+		if len(rec) < 4 {
+			return "", 0, fmt.Errorf("short record")
+		}
+		return string(rec[4:]), int(binary.LittleEndian.Uint32(rec)), nil
+	}
+	got, st, err := j.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("pooled+spilled word count differs from reference")
+	}
+	if st.SpilledRuns == 0 {
+		t.Error("nothing spilled under a 1-byte budget")
+	}
+	// The reference job has no PairBytes, so IntermediateBytes differs
+	// by construction; everything else must match.
+	norm, cleanNorm := *st, *clean
+	zeroWalls(&norm)
+	zeroWalls(&cleanNorm)
+	norm.SpilledRuns, norm.SpillBytesWritten, norm.SpillBytesRead = 0, 0, 0
+	norm.IntermediateBytes = cleanNorm.IntermediateBytes
+	if !reflect.DeepEqual(norm, cleanNorm) {
+		t.Errorf("Stats differ:\n got  %+v\n want %+v", norm, cleanNorm)
+	}
+	if names := fs.List(); len(names) != 0 {
+		t.Errorf("scratch left behind: %v", names)
+	}
+}
+
+// TestSortedRunAllocationBudget is the PR's allocation-budget guard on
+// the map-side sort + shuffle-merge hot path: with a warm pool, one
+// finalize+merge cycle over 4 mapper runs must stay within a small
+// constant allocation budget instead of scaling with run length.
+func TestSortedRunAllocationBudget(t *testing.T) {
+	const nruns, per = 4, 1 << 12
+	pool := NewBufferPool()
+	rank := keyRanker[int64]()
+	src := make([][]pair[int64, int64], nruns)
+	for m := range src {
+		src[m] = benchPairs(per, 1<<10, m)
+	}
+
+	cycle := func() {
+		batches := make([][]pairBatch[int64, int64], nruns)
+		for m := range src {
+			ps := getPairsLen[int64, int64](pool, per)
+			copy(ps, src[m])
+			b := pairBatch[int64, int64]{pairs: ps}
+			finalizeRun(&b, rank, nil, nil, pool)
+			batches[m] = []pairBatch[int64, int64]{b}
+		}
+		in := mergeRuns(batches, 0, nruns*per, pool)
+		starts := groupStarts(in.keys, pool)
+		putInts(pool, starts)
+		putKeys(pool, in.keys)
+		putVals(pool, in.vals)
+	}
+	// Warm the pool: the first cycle allocates the steady-state buffers.
+	cycle()
+	cycle()
+
+	// Steady state: the per-cycle slices (batches headers, the batch
+	// slice-of-slices) still allocate, but every pair/key/value/scratch
+	// array — the O(n) buffers — must come from the pool. 32 is ~3
+	// orders of magnitude below the unpooled cost (dozens of
+	// 4096-element arrays). The race detector's shadow bookkeeping
+	// allocates on its own, so the budget only holds uninstrumented.
+	if !raceEnabled {
+		allocs := testing.AllocsPerRun(10, cycle)
+		if allocs > 32 {
+			t.Errorf("warm-pool finalize+merge cycle allocates %.0f objects, budget 32", allocs)
+		}
+	}
+
+	// Sanity: the pooled cycle computes the same merge as a pool-free
+	// one.
+	poolFree := func() reducerInput[int64, int64] {
+		batches := make([][]pairBatch[int64, int64], nruns)
+		for m := range src {
+			ps := make([]pair[int64, int64], per)
+			copy(ps, src[m])
+			b := pairBatch[int64, int64]{pairs: ps}
+			finalizeRun(&b, rank, nil, nil, nil)
+			batches[m] = []pairBatch[int64, int64]{b}
+		}
+		return mergeRuns(batches, 0, nruns*per, nil)
+	}
+	want := poolFree()
+	batches := make([][]pairBatch[int64, int64], nruns)
+	for m := range src {
+		ps := getPairsLen[int64, int64](pool, per)
+		copy(ps, src[m])
+		b := pairBatch[int64, int64]{pairs: ps}
+		finalizeRun(&b, rank, nil, nil, pool)
+		batches[m] = []pairBatch[int64, int64]{b}
+	}
+	got := mergeRuns(batches, 0, nruns*per, pool)
+	if !reflect.DeepEqual(got.keys, want.keys) || !reflect.DeepEqual(got.vals, want.vals) {
+		t.Error("pooled merge differs from pool-free merge")
+	}
+}

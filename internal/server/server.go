@@ -86,6 +86,14 @@ type Config struct {
 	// Parallelism bounds each job's concurrent map/reduce tasks
 	// (mapreduce.Config.Parallelism); 0 uses the engine default.
 	Parallelism int
+	// Columnar stages each job's relations in the simulated DFS's
+	// columnar MBB storage (spatial.Config.Columnar). Results, Stats and
+	// cached entries are bit-identical either way.
+	Columnar bool
+	// SpillBudget, when positive, bounds each mapper's in-memory sorted
+	// runs per job (spatial.Config.SpillBudget); over-budget runs spill
+	// to uncharged local scratch with bit-identical results.
+	SpillBudget int64
 	// Metrics receives the server_* metrics plus every job's engine and
 	// DFS metrics. May be nil.
 	Metrics *metrics.Registry
@@ -653,6 +661,8 @@ func (s *Server) runJob(j *Job) {
 	cfg := spatial.Config{
 		Part:        j.part,
 		Parallelism: s.cfg.Parallelism,
+		Columnar:    s.cfg.Columnar,
+		SpillBudget: s.cfg.SpillBudget,
 		Context:     j.ctx,
 		Tracer:      j.tracer,
 		Metrics:     s.reg,

@@ -156,6 +156,8 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 					}
 					return 4 + itemRecordBytes
 				},
+				EncodePair: encodeCellCascade,
+				DecodePair: decodeCellCascade,
 			}
 			return job.Run(input)
 		}

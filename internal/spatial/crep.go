@@ -39,9 +39,11 @@ func allReplicate(pl *plan, exec *executor) (*Result, error) {
 				exec.part.ForEachFourthQuadrant(it.Rect, func(c grid.CellID) { emit(c, it) })
 				return nil
 			},
-			Partition: mapreduce.IdentityPartition[grid.CellID],
-			Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
-			PairBytes: taggedPairBytes,
+			Partition:  mapreduce.IdentityPartition[grid.CellID],
+			Reduce:     joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
+			PairBytes:  taggedPairBytes,
+			EncodePair: encodeCellTagged,
+			DecodePair: decodeCellTagged,
 		}
 		out, st, err := job.Run(input)
 		tuples = out
@@ -145,7 +147,9 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 				}
 				return nil
 			},
-			PairBytes: taggedPairBytes,
+			PairBytes:  taggedPairBytes,
+			EncodePair: encodeCellTagged,
+			DecodePair: decodeCellTagged,
 		}
 		out, st, err := round1.Run(input)
 		if err != nil {
@@ -195,9 +199,11 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 				}
 				return nil
 			},
-			Partition: mapreduce.IdentityPartition[grid.CellID],
-			Reduce:    joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
-			PairBytes: taggedPairBytes,
+			Partition:  mapreduce.IdentityPartition[grid.CellID],
+			Reduce:     joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
+			PairBytes:  taggedPairBytes,
+			EncodePair: encodeCellTagged,
+			DecodePair: decodeCellTagged,
 		}
 		out, st, err := round2.Run(staged)
 		tuples = out

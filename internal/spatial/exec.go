@@ -55,6 +55,20 @@ type Config struct {
 	// FS is the simulated distributed file system; a private one is
 	// created when nil.
 	FS *dfs.FS
+	// Columnar stages relation inputs in the DFS's structs-of-arrays MBB
+	// storage (dfs.CreateMBB) instead of one boxed []byte per record, and
+	// reads them back through the columnar fast path. Charged bytes,
+	// Stats and results are bit-identical to boxed staging; the only
+	// difference is the host-side allocation profile. Snapshots of a
+	// columnar FS restore as boxed files, which read back equally well.
+	Columnar bool
+	// SpillBudget, when positive, bounds the bytes (PairBytes-priced,
+	// the same pricing the shuffle accounting uses) a mapper may hold in
+	// memory per per-reducer sorted run; runs exceeding it are spilled
+	// to uncharged local DFS scratch and re-read by the shuffle merge.
+	// Results, Stats and every non-Spill* counter are bit-identical to
+	// an in-memory run (see mapreduce.Config.SpillBudget).
+	SpillBudget int64
 	// MaxAttempts, FailMap and FailReduce pass fault injection through
 	// to every job (see mapreduce.Config).
 	MaxAttempts int
@@ -177,6 +191,10 @@ type executor struct {
 	fs     *dfs.FS
 	cfg    Config
 	metric grid.Metric
+	// pool recycles engine scratch across every job of the execution —
+	// one pool per execution, so buffers never leak between concurrent
+	// Execute calls.
+	pool *mapreduce.BufferPool
 
 	tr      *trace.Tracer
 	runSpan trace.SpanID
@@ -238,7 +256,7 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 	if fs == nil {
 		fs = dfs.New(0)
 	}
-	exec := &executor{part: part, rels: rels, fs: fs, cfg: cfg, metric: cfg.LimitMetric, tr: cfg.Tracer}
+	exec := &executor{part: part, rels: rels, fs: fs, cfg: cfg, metric: cfg.LimitMetric, tr: cfg.Tracer, pool: mapreduce.NewBufferPool()}
 	exec.runSpan = exec.tr.Start(0, trace.KindRun, fmt.Sprintf("%s %s", method, q))
 	exec.cur = exec.runSpan
 	// Registered before the runSpan End so it runs after it (defers are
@@ -310,7 +328,7 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 // jobConfig builds the engine config for one job of this execution;
 // the job's spans nest under the currently open round.
 func (e *executor) jobConfig(name string) mapreduce.Config {
-	return mapreduce.Config{
+	c := mapreduce.Config{
 		Name:        name,
 		Context:     e.cfg.Context,
 		NumReducers: e.part.NumCells(),
@@ -324,7 +342,13 @@ func (e *executor) jobConfig(name string) mapreduce.Config {
 		Tracer:      e.tr,
 		TraceParent: e.cur,
 		Metrics:     e.cfg.Metrics,
+		Pool:        e.pool,
 	}
+	if e.cfg.SpillBudget > 0 {
+		c.SpillBudget = e.cfg.SpillBudget
+		c.SpillFS = e.fs
+	}
+	return c
 }
 
 // chain builds the method's job chain over the execution's FS:
@@ -368,9 +392,21 @@ func (e *executor) stageInputs() error {
 			}
 			continue
 		}
+		if e.cfg.Columnar {
+			w := e.fs.CreateMBB(name)
+			for _, it := range rel.Items {
+				w.Append(dfs.MBB{ID: it.ID, X: it.R.X, Y: it.R.Y, L: it.R.L, B: it.R.B})
+			}
+			if err := w.Close(); err != nil {
+				return err
+			}
+			continue
+		}
 		w := e.fs.Create(name)
 		for _, it := range rel.Items {
-			w.Append(encodeItem(tagged{ID: it.ID, Rect: it.R}))
+			// encodeItem allocates a fresh record, so ownership transfers
+			// to the file without the Append copy.
+			w.AppendOwned(encodeItem(tagged{ID: it.ID, Rect: it.R}))
 		}
 		if err := w.Close(); err != nil {
 			return err
@@ -384,6 +420,25 @@ func (e *executor) stageInputs() error {
 func (e *executor) loadRelation(slot int) ([]tagged, error) {
 	rel := e.rels[slot]
 	out := make([]tagged, 0, len(rel.Items))
+	if e.cfg.Columnar {
+		// Columnar fast path: rows come straight out of the column
+		// planes, no per-record []byte or decode. Charges are identical
+		// to the boxed Scan, and ScanMBB also reads boxed files (e.g. a
+		// relation restored from a snapshot), so resumes interoperate.
+		err := e.fs.ScanMBB(inputFile(rel.Name), func(m dfs.MBB) error {
+			out = append(out, tagged{
+				Slot:   int8(slot),
+				ID:     m.ID,
+				Rect:   geom.Rect{X: m.X, Y: m.Y, L: m.L, B: m.B},
+				Marked: m.Marked,
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	err := e.fs.Scan(inputFile(rel.Name), func(rec []byte) error {
 		it, err := decodeItem(rec)
 		if err != nil {

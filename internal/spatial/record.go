@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mwsjoin/internal/geom"
+	"mwsjoin/internal/grid"
 )
 
 // Binary record formats for the simulated DFS. Sizes matter: the DFS
@@ -97,6 +98,78 @@ func encodePartial(p partial) []byte {
 		off += memberBytes
 	}
 	return buf
+}
+
+// Spill codecs: frame one intermediate (cell, value) pair for the
+// engine's map-side spill files (mapreduce.Job.EncodePair/DecodePair).
+// Layout is the 4-byte little-endian cell id followed by the value in
+// its existing DFS record encoding, so a spilled run re-reads to the
+// exact pairs that were written — bit-identical shuffle results are
+// the acceptance criterion, not a nice-to-have.
+
+// encodeCellTagged frames a (cell, item) pair: cell(4) item(38).
+func encodeCellTagged(c grid.CellID, t tagged, buf []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(c))
+	buf = append(buf, hdr[:]...)
+	return append(buf, encodeItem(t)...)
+}
+
+// decodeCellTagged parses an encodeCellTagged record.
+func decodeCellTagged(rec []byte) (grid.CellID, tagged, error) {
+	if len(rec) != 4+itemRecordBytes {
+		return 0, tagged{}, fmt.Errorf("spatial: spilled item pair has %d bytes, want %d", len(rec), 4+itemRecordBytes)
+	}
+	t, err := decodeItem(rec[4:])
+	if err != nil {
+		return 0, tagged{}, err
+	}
+	return grid.CellID(binary.LittleEndian.Uint32(rec)), t, nil
+}
+
+// cascadeRecordTag distinguishes the two cascadeRecord shapes in a
+// spill frame: cell(4) tag(1) then a partial-tuple or item record.
+const (
+	cascadeTagItem  = 0
+	cascadeTagTuple = 1
+)
+
+// encodeCellCascade frames a (cell, cascadeRecord) pair.
+func encodeCellCascade(c grid.CellID, rec cascadeRecord, buf []byte) []byte {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(c))
+	if rec.isTuple {
+		hdr[4] = cascadeTagTuple
+		buf = append(buf, hdr[:]...)
+		return append(buf, encodePartial(rec.tuple)...)
+	}
+	hdr[4] = cascadeTagItem
+	buf = append(buf, hdr[:]...)
+	return append(buf, encodeItem(rec.item)...)
+}
+
+// decodeCellCascade parses an encodeCellCascade record.
+func decodeCellCascade(rec []byte) (grid.CellID, cascadeRecord, error) {
+	if len(rec) < 5 {
+		return 0, cascadeRecord{}, fmt.Errorf("spatial: spilled cascade pair too short (%d bytes)", len(rec))
+	}
+	c := grid.CellID(binary.LittleEndian.Uint32(rec))
+	switch rec[4] {
+	case cascadeTagTuple:
+		p, err := decodePartial(rec[5:])
+		if err != nil {
+			return 0, cascadeRecord{}, err
+		}
+		return c, cascadeRecord{isTuple: true, tuple: p}, nil
+	case cascadeTagItem:
+		t, err := decodeItem(rec[5:])
+		if err != nil {
+			return 0, cascadeRecord{}, err
+		}
+		return c, cascadeRecord{item: t}, nil
+	default:
+		return 0, cascadeRecord{}, fmt.Errorf("spatial: spilled cascade pair has unknown tag %d", rec[4])
+	}
 }
 
 // decodePartial parses a DFS partial-tuple record.

@@ -44,31 +44,50 @@ func Join(as, bs []geom.Rect, d float64, fn func(i, j int) bool) {
 // and sweep it many times (the cascade executor sorts once per round)
 // use this entry point. Pairs are emitted ascending by position in as,
 // then bs, exactly as Join emits them for the same orders.
+//
+// The inner loop is the hottest code in every reducer, so the pair
+// predicate is inlined rather than dispatched through Rect methods: a
+// candidate's axis gaps are computed with the builtin float max (a
+// single FP max instruction on the usual targets, no branch) and one
+// fused comparison decides the pair. The arithmetic is exactly that of
+// geom.Rect.WithinDist/axisGap — the same subtractions in the same
+// order — and for d = 0 the gap test degenerates to exactly
+// Rect.Overlaps (dx = dy = 0 iff the closed extents intersect), so the
+// emitted pairs are bit-identical to the method-dispatched loop this
+// replaces.
 func JoinSorted(as, bs []geom.Rect, d float64, fn func(i, j int) bool) {
 	if len(as) == 0 || len(bs) == 0 || d < 0 {
 		return
 	}
+	d2 := d * d
 	start := 0
 	for i := range as {
 		a := as[i]
-		aMin, aMax := a.MinX(), a.MaxX()
+		aMin, aMax := a.X, a.X+a.L // MinX, MaxX
+		aTop, aBot := a.Y, a.Y-a.B // MaxY, MinY
 		// Permanently discard leading b's that ended left of the sweep
 		// front: future a's have MinX ≥ aMin (and float subtraction is
 		// monotone), so such b's can never come within d on the x axis
 		// again. Dead b's further inside the window are filtered by the
-		// match test instead. The gap is computed as aMin−b.MaxX(),
-		// exactly the arithmetic of the axis-gap test inside match:
-		// comparing against a precomputed aMin−d instead loses pairs
-		// when that subtraction rounds the other way than the gap's.
-		for start < len(bs) && aMin-bs[start].MaxX() > d {
+		// gap test instead. The gap is computed as aMin−b.MaxX(),
+		// exactly the arithmetic of the axis-gap test below: comparing
+		// against a precomputed aMin−d instead loses pairs when that
+		// subtraction rounds the other way than the gap's.
+		for start < len(bs) && aMin-(bs[start].X+bs[start].L) > d {
 			start++
 		}
 		for k := start; k < len(bs); k++ {
 			b := bs[k]
-			if b.MinX()-aMax > d {
+			bMin := b.X
+			if bMin-aMax > d {
 				break // all later b's start even further right
 			}
-			if match(a, b, d) {
+			// Axis gaps per geom.axisGap: positive difference when the
+			// closed extents are disjoint on that axis, 0 otherwise
+			// (both differences are ≤ 0 when they meet).
+			dx := max(bMin-aMax, aMin-(b.X+b.L), 0)
+			dy := max((b.Y-b.B)-aTop, aBot-b.Y, 0)
+			if dx <= d && dy <= d && dx*dx+dy*dy <= d2 {
 				if !fn(i, k) {
 					return
 				}
@@ -78,23 +97,28 @@ func JoinSorted(as, bs []geom.Rect, d float64, fn func(i, j int) bool) {
 }
 
 // JoinSelf finds every unordered pair i < j within rs satisfying the
-// predicate and calls fn for each.
+// predicate and calls fn for each. The inner loop uses the same
+// inlined gap predicate as JoinSorted.
 func JoinSelf(rs []geom.Rect, d float64, fn func(i, j int) bool) {
 	if len(rs) < 2 || d < 0 {
 		return
 	}
+	d2 := d * d
 	order := sortedByMinX(rs)
 	for p, i := range order {
 		a := rs[i]
-		aMax := a.MaxX()
+		aMin, aMax := a.X, a.X+a.L
+		aTop, aBot := a.Y, a.Y-a.B
 		for q := p + 1; q < len(order); q++ {
 			j := order[q]
 			b := rs[j]
-			// Same gap arithmetic as the match test; see JoinSorted.
-			if b.MinX()-aMax > d {
+			// Same gap arithmetic as JoinSorted.
+			if b.X-aMax > d {
 				break
 			}
-			if match(a, b, d) {
+			dx := max(b.X-aMax, aMin-(b.X+b.L), 0)
+			dy := max((b.Y-b.B)-aTop, aBot-b.Y, 0)
+			if dx <= d && dy <= d && dx*dx+dy*dy <= d2 {
 				lo, hi := i, j
 				if lo > hi {
 					lo, hi = hi, lo
@@ -105,13 +129,6 @@ func JoinSelf(rs []geom.Rect, d float64, fn func(i, j int) bool) {
 			}
 		}
 	}
-}
-
-func match(a, b geom.Rect, d float64) bool {
-	if d == 0 {
-		return a.Overlaps(b)
-	}
-	return a.WithinDist(b, d)
 }
 
 // sortedByMinX returns index order of rs ascending by MinX, breaking

@@ -210,6 +210,20 @@ type Options struct {
 	// exact count. Use for cost measurement (the -explain mode) where
 	// only the counters matter.
 	CountOnly bool
+	// Columnar stages relation inputs in the simulated DFS's columnar
+	// (structs-of-arrays) MBB storage instead of one boxed record per
+	// rectangle. Results, Stats and charged bytes are bit-identical to
+	// boxed staging; at paper scale the columnar planes cut the
+	// host-side allocation count by orders of magnitude.
+	Columnar bool
+	// SpillBudget, when positive, bounds the in-memory bytes of each
+	// mapper's per-reducer sorted run (priced exactly like the shuffle
+	// byte accounting); runs over budget spill to uncharged local disk
+	// scratch and are re-read by the shuffle merge. Results and all
+	// charged Stats are bit-identical to an unbounded run — only the
+	// SpilledRuns/SpillBytes* job counters record that spilling
+	// happened.
+	SpillBudget int64
 	// Calibration, when non-nil, applies learned per-method/per-phase
 	// correction factors to Predict's estimates (see Calibrate and the
 	// calibration ledger). Run ignores it entirely — calibration never
@@ -428,6 +442,8 @@ func buildConfig(rels []Relation, opts *Options) (spatial.Config, error) {
 		OptimizeOrder:       o.OptimizeOrder,
 		CountOnly:           o.CountOnly,
 		Calibration:         o.Calibration,
+		Columnar:            o.Columnar,
+		SpillBudget:         o.SpillBudget,
 	}
 	if o.EuclideanLimit {
 		cfg.LimitMetric = grid.MetricEuclidean

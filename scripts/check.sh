@@ -75,6 +75,23 @@ go test -race -count=1 -run 'TestProfileCalibrateFlags' ./cmd/mwsjoin
 go test -race -count=1 -run 'TestDaemonObservabilityEndToEnd' ./cmd/mwsjoind
 go test -race -count=1 -run 'TestBenchPR7Anchor' .
 
+echo "== paper-scale memory battery under -race (columnar + pooled + spill bit-identity, 1-byte budget) =="
+# The DESIGN.md §4g equivalence battery: every sorted run spills under
+# the deliberately tiny budget, and tuples/Stats/DFS charges must stay
+# bit-identical to the boxed in-memory engine across methods ×
+# parallelism × faults × speculation × kill/resume; -count=1 defeats
+# the cache so the race detector re-exercises the spill/recycle paths.
+go test -race -count=1 \
+    -run 'TestSpillEquivalence|TestSpillBudgetThreshold|TestSpillDecodeErrorSurfaces|TestPooledEquivalence|TestPooledSpillWordCount|TestSortedRunAllocationBudget|TestColumnarSpillEquivalenceBattery|TestColumnarSpillSpeculative|TestColumnarSpillKillResume' \
+    ./internal/mapreduce ./internal/spatial
+go test -race -count=1 ./internal/dfs
+
+echo "== unit-200,000 smoke (10x table scale through the memory path; timeout-guarded) =="
+# Runs the BENCH_PR8 live measurement with the join at unit = 200,000
+# (three 200k-rectangle relations, columnar + pooled + spilling); the
+# timeout keeps a pathological regression from hanging CI.
+MWSJ_BENCH_UNIT=200000 go test -count=1 -timeout 300s -run 'TestBenchPR8Anchor' .
+
 echo "== fuzz (FuzzParseQuery, 5s) =="
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
 
