@@ -19,7 +19,17 @@
 // /debug/pprof/*). -explain skips the normal run and instead predicts
 // every map-reduce method's cost from samples, measures the actuals
 // with suppressed tuple output, and prints a predicted-vs-actual table
-// with relative errors. -timeout bounds the run: the execution stops
+// with relative errors.
+//
+// -method auto delegates the choice to the cost-based planner: it
+// enumerates every method, cascade join orderings, uniform vs adaptive
+// grids at several resolutions and combiner on/off, prices each with
+// the (optionally calibrated) cost model, and runs the cheapest plan.
+// -explain-plan prints the planner's full candidate table — the chosen
+// plan first, then every rejected alternative with its predicted cost —
+// without executing anything. Explicitly setting -reducers or
+// -partition pins the corresponding planner axis. -timeout bounds the
+// run: the execution stops
 // cooperatively at its next job boundary and the command exits with
 // status 3, distinguishing a deadline from a failure (status 1).
 //
@@ -117,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rels := relFlags{}
 	var (
 		queryText = fs.String("query", "", `query text, e.g. "R1 ov R2 and R2 ra(100) R3"`)
-		method    = fs.String("method", "c-rep-l", "join method: brute-force | 2-way-cascade | all-replicate | c-rep | c-rep-l")
+		method    = fs.String("method", "c-rep-l", "join method: brute-force | 2-way-cascade | all-replicate | c-rep | c-rep-l | auto (cost-based planner picks the cheapest plan)")
 		reducers  = fs.Int("reducers", 64, "reducer count (perfect square for -partition uniform)")
 		partition = fs.String("partition", "uniform", "reducer partitioning scheme: uniform | adaptive (sample-driven split/merge, balances skewed data; results are identical)")
 		splitThr  = fs.Float64("split-threshold", 0, "adaptive-partition split capacity factor; a region splits while it holds more than split-threshold × (sample/reducers) sample points (0 = default 1.0)")
@@ -130,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceTree = fs.String("trace-tree", "", "write a human-readable span tree of the execution to this file")
 		serveAddr = fs.String("serve", "", "serve live metrics on this address while running (/metrics, /debug/vars, /debug/pprof/*); :0 picks a free port")
 		explain   = fs.Bool("explain", false, "predict each map-reduce method's cost, measure the actuals, and print a predicted-vs-actual table (ignores -method and tuple output)")
+		explainPl = fs.Bool("explain-plan", false, "print the cost-based planner's candidate table (chosen plan plus every rejected alternative with predicted costs) and exit without running the query")
 		skewThr   = fs.Float64("skew-threshold", 0, "reducer-skew ratio flagged in the -trace-tree export; 0 derives it from the measured job imbalance distribution")
 		failJob   = fs.Int("fail-job", -1, "kill the run before job-chain index N (fault injection); with -checkpoint, the completed checkpoints are saved for -resume")
 		resume    = fs.Bool("resume", false, "resume a killed run from the -checkpoint snapshot; completed jobs are skipped and only the checkpoint re-read is charged")
@@ -157,13 +168,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-calibrate requires -ledger <file>")
 	}
 
+	// Flags the user set explicitly pin the matching planner axis in
+	// -method auto / -explain-plan mode; left at their defaults, the
+	// planner is free to enumerate (e.g. the -reducers default of 64
+	// must not silently fix the grid resolution).
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
 	q, err := mwsjoin.ParseQuery(*queryText)
 	if err != nil {
 		return err
 	}
-	m, err := mwsjoin.ParseMethod(*method)
-	if err != nil {
-		return err
+	auto := *method == "auto"
+	var m mwsjoin.Method
+	if !auto {
+		if m, err = mwsjoin.ParseMethod(*method); err != nil {
+			return err
+		}
 	}
 
 	var tracer *mwsjoin.Tracer
@@ -267,13 +288,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer cancel()
 	}
 
+	// Plan in auto / -explain-plan mode. Only explicitly-set flags pin a
+	// planner axis: -reducers fixes the grid, -partition the scheme, and
+	// (for -explain-plan) -method narrows the table to one method.
+	var plan *mwsjoin.Plan
+	if auto || *explainPl {
+		var popts mwsjoin.PlannerOptions
+		if !auto && setFlags["method"] {
+			popts.Methods = []mwsjoin.Method{m}
+		}
+		if setFlags["partition"] {
+			scheme, err := mwsjoin.ParsePartitionScheme(*partition)
+			if err != nil {
+				return err
+			}
+			popts.Schemes = []mwsjoin.PartitionScheme{scheme}
+		}
+		planOpts := opts
+		if !setFlags["reducers"] {
+			planOpts.Reducers = 0
+		}
+		if plan, err = mwsjoin.PlanQuery(q, bound, &planOpts, popts); err != nil {
+			return err
+		}
+		if *explainPl {
+			return plan.WriteExplain(stdout)
+		}
+		fmt.Fprintf(stderr, "planner: %v on %v/%d (%d cells), order=%t, combiner=%t, predicted cost %.0f of %d candidates\n",
+			plan.Method, plan.Scheme, plan.Reducers, plan.Cells,
+			plan.OptimizeOrder, plan.Combiner, plan.Cost, len(plan.Alternatives))
+	}
+
 	var res *mwsjoin.Result
 	if *explain {
 		if err := runExplain(ctx, q, bound, opts, ledger, stdout); err != nil {
 			return err
 		}
 	} else {
-		if res, err = mwsjoin.RunContext(ctx, q, bound, m, &opts); err != nil {
+		if auto {
+			res, err = mwsjoin.RunPlanContext(ctx, q, bound, plan, &opts)
+		} else {
+			res, err = mwsjoin.RunContext(ctx, q, bound, m, &opts)
+		}
+		if err != nil {
 			var killed *mwsjoin.ChainKilledError
 			if errors.As(err, &killed) && *chkPath != "" {
 				if serr := saveSnapshot(opts.FS, *chkPath); serr != nil {
@@ -309,11 +366,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// costs — calibrated predictions would compound the factors on
 		// the next Calibrate.
 		if ledger != nil {
-			rawOpts := opts
-			rawOpts.Calibration = nil
-			pred, err := mwsjoin.Predict(q, bound, m, &rawOpts)
-			if err != nil {
-				return err
+			var pred *mwsjoin.Prediction
+			if plan != nil {
+				// The chosen plan's raw prediction priced the exact grid
+				// that ran; re-predicting here could cost a different one.
+				pred = plan.Raw
+			} else {
+				rawOpts := opts
+				rawOpts.Calibration = nil
+				if pred, err = mwsjoin.Predict(q, bound, m, &rawOpts); err != nil {
+					return err
+				}
 			}
 			if err := ledger.Append(mwsjoin.NewCalibrationEntry(q, pred, &res.Stats)); err != nil {
 				return err

@@ -249,3 +249,97 @@ func TestProfileCalibrateFlags(t *testing.T) {
 		t.Error("-calibrate without -ledger unexpectedly succeeded")
 	}
 }
+
+// TestRunAutoMethod checks -method auto: the planner picks a plan, the
+// run produces exactly the tuples an explicit method produces, the
+// chosen plan is announced on stderr, and a -ledger entry records the
+// plan's raw prediction.
+func TestRunAutoMethod(t *testing.T) {
+	roads := writeRects(t, "roads.csv", []mwsjoin.Rect{
+		{X: 0, Y: 10, L: 5, B: 5},
+		{X: 4, Y: 9, L: 5, B: 5},
+		{X: 8, Y: 8, L: 5, B: 5},
+		{X: 40, Y: 45, L: 3, B: 3},
+	})
+	args := []string{
+		"-query", "a ov b and b ov c",
+		"-rel", "a=" + roads, "-rel", "b=" + roads, "-rel", "c=" + roads,
+	}
+
+	var want strings.Builder
+	if err := run(append(append([]string{}, args...), "-method", "c-rep-l"), &want, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ledgerPath := filepath.Join(t.TempDir(), "auto.jsonl")
+	var out, errOut strings.Builder
+	err := run(append(append([]string{}, args...),
+		"-method", "auto", "-ledger", ledgerPath), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want.String() {
+		t.Errorf("-method auto tuples differ from explicit method:\n got %q\nwant %q", out.String(), want.String())
+	}
+	if !strings.Contains(errOut.String(), "planner:") {
+		t.Errorf("stderr missing planner announcement:\n%s", errOut.String())
+	}
+	entries, err := mwsjoin.ReadCalibrationLedger(ledgerPath)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("auto-run ledger: %d entries, %v; want 1", len(entries), err)
+	}
+	if entries[0].Method == "auto" || entries[0].Method == "" {
+		t.Errorf("ledger entry method = %q, want the planner's concrete pick", entries[0].Method)
+	}
+}
+
+// TestExplainPlanFlag checks -explain-plan prints the candidate table
+// without executing, marks the pick, and that explicitly pinning
+// -method / -partition / -reducers narrows the enumerated space.
+func TestExplainPlanFlag(t *testing.T) {
+	r := writeRects(t, "r.csv", []mwsjoin.Rect{
+		{X: 0, Y: 10, L: 4, B: 4},
+		{X: 3, Y: 9, L: 4, B: 4},
+		{X: 50, Y: 50, L: 2, B: 2},
+	})
+	args := []string{"-query", "A ov B", "-rel", "A=" + r, "-rel", "B=" + r}
+
+	var out, errOut strings.Builder
+	if err := run(append(append([]string{}, args...), "-explain-plan"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	table := out.String()
+	if !strings.Contains(table, "pick") || !strings.Contains(table, "cost") {
+		t.Fatalf("missing table header:\n%s", table)
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[1], "*") {
+		t.Errorf("first candidate row not marked as the pick:\n%s", table)
+	}
+	for _, m := range []string{"2-way-cascade", "all-replicate", "c-rep", "c-rep-l"} {
+		if !strings.Contains(table, m) {
+			t.Errorf("full table missing method %s:\n%s", m, table)
+		}
+	}
+	if !strings.Contains(table, "uniform") || !strings.Contains(table, "adaptive") {
+		t.Errorf("full table missing a partition scheme:\n%s", table)
+	}
+
+	// Pinning -method, -partition and -reducers collapses those axes.
+	out.Reset()
+	err := run(append(append([]string{}, args...),
+		"-explain-plan", "-method", "all-replicate", "-partition", "uniform", "-reducers", "16"), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := out.String()
+	if strings.Contains(pinned, "c-rep") || strings.Contains(pinned, "cascade") {
+		t.Errorf("pinned -method table still lists other methods:\n%s", pinned)
+	}
+	if strings.Contains(pinned, "adaptive") {
+		t.Errorf("pinned -partition table still lists adaptive grids:\n%s", pinned)
+	}
+	if rows := strings.Split(strings.TrimSpace(pinned), "\n"); len(rows) != 2 {
+		t.Errorf("pinned table has %d candidate rows, want 1:\n%s", len(rows)-1, pinned)
+	}
+}

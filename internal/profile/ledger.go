@@ -144,17 +144,28 @@ func ReadLedger(path string) ([]LedgerEntry, error) {
 // sides are positive — the estimator in log space that minimizes mean
 // squared log-ratio error, so consistent over- or under-prediction is
 // corrected exactly and mixed residuals average out. Entries whose
-// method no longer parses are skipped. With no usable entries the
-// returned calibration is the identity.
+// method no longer parses are skipped, as is any phase pair where
+// either side is zero, negative or non-finite — a cache hit or
+// zero-pair round records a zero actual, and log 0 would drive the
+// factor to 0 or -Inf. Every returned factor is finite and positive.
+// With no usable entries the returned calibration is the identity.
 func Calibrate(entries []LedgerEntry) *spatial.Calibration {
 	sums := make(map[string]float64)
 	counts := make(map[string]int)
 	add := func(m spatial.Method, field string, pred, actual float64) {
-		if pred <= 0 || actual <= 0 {
+		// The inverted comparisons also reject NaN (which fails every
+		// ordered comparison, so a plain pred <= 0 guard lets it through
+		// into math.Log and poisons the whole sum); IsInf catches the
+		// rest of the non-finite inputs a corrupt ledger line can carry.
+		if !(pred > 0) || !(actual > 0) || math.IsInf(pred, 0) || math.IsInf(actual, 0) {
 			return
 		}
 		k := spatial.CalibrationKey(m, field)
-		sums[k] += math.Log(actual / pred)
+		// Clamp the log ratio so that even absurd (but finite) ledger
+		// values cannot push the mean past where math.Exp overflows to
+		// +Inf (≈709.8); e^±512 is already far beyond any correction a
+		// real workload needs.
+		sums[k] += max(-512, min(512, math.Log(actual/pred)))
 		counts[k]++
 	}
 	for _, e := range entries {

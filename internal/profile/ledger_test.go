@@ -203,3 +203,51 @@ func statsNoWall(got, want spatial.Stats) spatial.Stats {
 	got.Rounds = rounds
 	return got
 }
+
+// TestCalibrateDegenerateEntries is the regression battery for the
+// geometric-mean blow-ups: ledger entries with zero, negative, NaN or
+// infinite sides must be skipped, and every returned factor must be
+// finite and strictly positive no matter how hostile the ledger is.
+func TestCalibrateDegenerateEntries(t *testing.T) {
+	inf := math.Inf(1)
+	entries := []LedgerEntry{
+		// Zero actuals (empty-result runs): log(0) would be -Inf.
+		{Method: "c-rep-l", Predicted: PhaseCosts{RoundPairs: []float64{100}, Pairs: 100, Tuples: 10}, Actual: PhaseCosts{RoundPairs: []float64{0}, Pairs: 0, Tuples: 0}},
+		// Zero predictions: log(x/0) would be +Inf.
+		{Method: "c-rep-l", Predicted: PhaseCosts{Pairs: 0, Copies: 0}, Actual: PhaseCosts{Pairs: 500, Copies: 80}},
+		// NaN and Inf on either side.
+		{Method: "c-rep-l", Predicted: PhaseCosts{Pairs: math.NaN(), Tuples: inf}, Actual: PhaseCosts{Pairs: 100, Tuples: 100}},
+		{Method: "c-rep-l", Predicted: PhaseCosts{Pairs: 100, Tuples: 100}, Actual: PhaseCosts{Pairs: inf, Tuples: math.NaN()}},
+		// Negative garbage.
+		{Method: "c-rep-l", Predicted: PhaseCosts{Pairs: -10}, Actual: PhaseCosts{Pairs: 10}},
+		// One honest entry so some factor is actually learned.
+		{Method: "c-rep-l", Predicted: PhaseCosts{RoundPairs: []float64{100}, Pairs: 100, Tuples: 10}, Actual: PhaseCosts{RoundPairs: []float64{300}, Pairs: 300, Tuples: 10}},
+		// An astronomical but finite ratio: the log-ratio clamp keeps the
+		// learned factor finite after exp.
+		{Method: "2-way-cascade", Predicted: PhaseCosts{Pairs: 1e-300}, Actual: PhaseCosts{Pairs: 1e300}},
+	}
+	cal := Calibrate(entries)
+	for k, f := range cal.Factors {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+			t.Errorf("factor %s = %v, want finite and positive", k, f)
+		}
+	}
+	// The hostile entries contribute nothing: the one honest 3× entry is
+	// the whole pairs factor.
+	if f := cal.Factor(spatial.ControlledReplicateLimit, "pairs"); math.Abs(f-3) > 1e-9 {
+		t.Errorf("pairs factor = %v, want 3 (only the honest entry counts)", f)
+	}
+	if f := cal.Factor(spatial.ControlledReplicateLimit, "round0"); math.Abs(f-3) > 1e-9 {
+		t.Errorf("round0 factor = %v, want 3", f)
+	}
+	// Applying a learned-from-garbage calibration keeps predictions
+	// finite.
+	pred := &spatial.Prediction{Method: spatial.ControlledReplicateLimit,
+		RoundPairs: []float64{10, 20}, Pairs: 30, Replicated: 5, Copies: 15, Tuples: 7}
+	got := cal.Apply(pred)
+	for _, v := range []float64{got.Pairs, got.Replicated, got.Copies, got.Tuples} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("calibrated prediction has non-finite field %v", v)
+		}
+	}
+}

@@ -52,6 +52,14 @@ type Job struct {
 	// part is the reducer grid, computed once at admission so Predict
 	// and Execute cost the same plan.
 	part *grid.Partitioning
+	// planned marks an "auto" submission: method, part, optimizeOrder
+	// and noCombiner were chosen by the cost-based planner (plan holds
+	// the full decision including the rejected alternatives), and
+	// admission priced that chosen plan.
+	planned       bool
+	plan          *spatial.Plan
+	optimizeOrder bool
+	noCombiner    bool
 
 	// SLO timestamps: queuedAt at admission, startedAt when a worker
 	// claims the job, finishedAt at the terminal transition.
@@ -79,11 +87,16 @@ type Job struct {
 // JobStatus is a point-in-time snapshot of a job, the GET /v1/jobs/{id}
 // payload.
 type JobStatus struct {
-	ID       string `json:"id"`
-	State    State  `json:"state"`
-	Query    string `json:"query"`
-	Method   string `json:"method"`
-	Priority int    `json:"priority"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Query string `json:"query"`
+	// Method is the method that runs (or ran). For an "auto"
+	// submission it is the planner's pick and Planned is true;
+	// PlanCost then carries the chosen plan's scalar cost.
+	Method   string  `json:"method"`
+	Planned  bool    `json:"planned,omitempty"`
+	PlanCost float64 `json:"plan_cost,omitempty"`
+	Priority int     `json:"priority"`
 	// PredictedPairs is the EXPLAIN-based admission cost the scheduler
 	// queued the job by; PredictedRounds is the expected chain length.
 	PredictedPairs  float64 `json:"predicted_pairs"`
@@ -116,12 +129,16 @@ func (j *Job) status() *JobStatus {
 		State:           j.state,
 		Query:           j.queryTxt,
 		Method:          j.method.String(),
+		Planned:         j.planned,
 		Priority:        j.priority,
 		PredictedPairs:  j.cost,
 		PredictedRounds: j.rounds,
 		StepsDone:       j.stepsDone,
 		CurrentStep:     j.currentStep,
 		Cached:          j.cached,
+	}
+	if j.plan != nil {
+		st.PlanCost = j.plan.Cost
 	}
 	if j.res != nil {
 		st.OutputTuples = j.res.Stats.OutputTuples

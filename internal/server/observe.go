@@ -24,9 +24,12 @@ const DefaultSlowlogSize = 32
 // SlowlogEntry is one slow-query record: the job's latency breakdown
 // with a reference to its full profile.
 type SlowlogEntry struct {
-	ID                string `json:"id"`
-	Query             string `json:"query"`
+	ID    string `json:"id"`
+	Query string `json:"query"`
+	// Method is the method that ran; Planned marks it as the cost-based
+	// planner's pick (an "auto" submission) rather than a client's.
 	Method            string `json:"method"`
+	Planned           bool   `json:"planned,omitempty"`
 	State             State  `json:"state"`
 	QueueWaitUS       int64  `json:"queue_wait_us"`
 	ExecUS            int64  `json:"exec_us"`
@@ -84,6 +87,7 @@ func (s *Server) recordSlowlog(j *Job, finished time.Time) {
 		ID:          j.id,
 		Query:       j.queryTxt,
 		Method:      j.method.String(),
+		Planned:     j.planned,
 		State:       j.state,
 		QueueWaitUS: j.startedAt.Sub(j.queuedAt).Microseconds(),
 		ExecUS:      finished.Sub(j.startedAt).Microseconds(),

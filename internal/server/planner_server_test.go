@@ -1,0 +1,131 @@
+package server
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"mwsjoin/internal/profile"
+	"mwsjoin/internal/spatial"
+)
+
+// TestSubmitAutoMethod drives an "auto" submission end to end: the
+// planner resolves a concrete method at admission, the job is priced on
+// the plan that actually runs (predicted rounds reconcile with the
+// executed stats), results match an explicit-method submission, and the
+// planner's pick is recorded in the job status, the slowlog and the
+// calibration ledger.
+func TestSubmitAutoMethod(t *testing.T) {
+	ledgerPath := filepath.Join(t.TempDir(), "ledger.jsonl")
+	s, _ := newTestServer(t, Config{Workers: 1, LedgerPath: ledgerPath, CacheBytes: -1})
+
+	req := SubmitRequest{Query: "A ov B and B ov C", Method: "auto"}
+	st := waitJob(t, s, submit(t, s, req).ID)
+	if st.State != StateDone {
+		t.Fatalf("auto job: %s: %s", st.State, st.Error)
+	}
+
+	// The status must carry the planner's concrete pick, never "auto".
+	if !st.Planned {
+		t.Error("auto job not marked Planned")
+	}
+	if st.Method == "auto" {
+		t.Error("auto job status still reports method \"auto\"")
+	}
+	if _, err := spatial.ParseMethod(st.Method); err != nil {
+		t.Errorf("auto job method = %q, want a concrete method: %v", st.Method, err)
+	}
+	if math.IsNaN(st.PlanCost) || math.IsInf(st.PlanCost, 0) || st.PlanCost <= 0 {
+		t.Errorf("plan cost = %v, want finite positive", st.PlanCost)
+	}
+	if math.IsNaN(st.PredictedPairs) || math.IsInf(st.PredictedPairs, 0) || st.PredictedPairs < 0 {
+		t.Errorf("admission cost = %v, want finite non-negative", st.PredictedPairs)
+	}
+
+	// Reconcile the priced plan against the executed stats: the plan the
+	// admission charged is the plan that ran, so the predicted chain
+	// length and the method must match the execution exactly.
+	if st.Stats == nil {
+		t.Fatal("done job has no stats")
+	}
+	if st.PredictedRounds != len(st.Stats.Rounds) {
+		t.Errorf("predicted %d rounds, executed %d — admission priced a different plan than ran",
+			st.PredictedRounds, len(st.Stats.Rounds))
+	}
+	if got := st.Stats.Method.String(); got != st.Method {
+		t.Errorf("executed method %q != planned method %q", got, st.Method)
+	}
+
+	// The answer is method-independent: an explicit brute-force
+	// submission must return the same tuples.
+	oracle := waitJob(t, s, submit(t, s, SubmitRequest{Query: req.Query, Method: "brute-force"}).ID)
+	if oracle.State != StateDone {
+		t.Fatalf("oracle job: %s: %s", oracle.State, oracle.Error)
+	}
+	if st.OutputTuples != oracle.OutputTuples {
+		t.Errorf("auto job tuples = %d, brute force = %d", st.OutputTuples, oracle.OutputTuples)
+	}
+
+	// Planning is deterministic: resubmitting picks the identical plan.
+	again := waitJob(t, s, submit(t, s, req).ID)
+	if again.Method != st.Method || again.PlanCost != st.PlanCost {
+		t.Errorf("resubmission chose %s (cost %v), first run chose %s (cost %v)",
+			again.Method, again.PlanCost, st.Method, st.PlanCost)
+	}
+
+	// The slowlog marks planned entries.
+	var found bool
+	for _, e := range s.Slowlog() {
+		if e.ID == st.ID {
+			found = true
+			if !e.Planned {
+				t.Error("slowlog entry for auto job not marked planned")
+			}
+			if e.Method != st.Method {
+				t.Errorf("slowlog method %q != job method %q", e.Method, st.Method)
+			}
+		}
+	}
+	if !found {
+		t.Error("auto job missing from slowlog")
+	}
+
+	// The ledger records the chosen method's raw prediction.
+	entries, err := profile.ReadLedger(ledgerPath)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("ledger: %d entries, %v", len(entries), err)
+	}
+	if entries[0].Method != st.Method {
+		t.Errorf("ledger method %q, want the planner's pick %q", entries[0].Method, st.Method)
+	}
+}
+
+// TestPlannerReducerCandidates: the service's configured reducer count
+// joins the planner's default grid resolutions only when it is a usable
+// (perfect-square) addition.
+func TestPlannerReducerCandidates(t *testing.T) {
+	cases := []struct {
+		reducers int
+		want     []int
+	}{
+		{0, []int{16, 64, 256}},
+		{64, []int{16, 64, 256}}, // already a default
+		{25, []int{16, 64, 256, 25}},
+		{7, []int{16, 64, 256}}, // not a perfect square
+	}
+	for _, tc := range cases {
+		s := &Server{}
+		s.cfg.Reducers = tc.reducers
+		got := s.plannerReducers()
+		if len(got) != len(tc.want) {
+			t.Errorf("plannerReducers(%d) = %v, want %v", tc.reducers, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("plannerReducers(%d) = %v, want %v", tc.reducers, got, tc.want)
+				break
+			}
+		}
+	}
+}

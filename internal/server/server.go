@@ -34,12 +34,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mwsjoin/internal/dataset"
+	"mwsjoin/internal/grid"
 	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/profile"
 	"mwsjoin/internal/query"
@@ -175,7 +177,11 @@ func (e *UnknownRelationError) Error() string {
 type SubmitRequest struct {
 	Query string `json:"query"`
 	// Method is a spatial method name ("c-rep-l", "2-way-cascade",
-	// ...); empty picks c-rep-l, the recommended default.
+	// ...); empty picks c-rep-l, the recommended default. "auto"
+	// delegates the choice to the cost-based planner: the cheapest
+	// (method, grid, order, combiner) candidate under the calibrated
+	// cost model is priced at admission and executed, and the job's
+	// status/slowlog/ledger record the planner's pick.
 	Method string `json:"method,omitempty"`
 	// Priority orders the queue: higher runs first. Ties run cheapest
 	// predicted cost first, then submission order.
@@ -315,9 +321,16 @@ func (s *Server) Submit(req SubmitRequest) (*JobStatus, error) {
 	if methodName == "" {
 		methodName = spatial.ControlledReplicateLimit.String()
 	}
-	method, err := spatial.ParseMethod(methodName)
-	if err != nil {
-		return nil, err
+	// "auto" defers the method choice to the cost-based planner; the
+	// chosen method is resolved under the lock below (planning needs
+	// the bound relations) and recorded everywhere a fixed method would
+	// be — job status, SLO histograms, slowlog, calibration ledger.
+	planned := methodName == "auto"
+	var method spatial.Method
+	if !planned {
+		if method, err = spatial.ParseMethod(methodName); err != nil {
+			return nil, err
+		}
 	}
 
 	// Bind slots and build the cache key outside the lock? No — the
@@ -338,22 +351,44 @@ func (s *Server) Submit(req SubmitRequest) (*JobStatus, error) {
 		rels[i] = e.rel
 		fps = fmt.Appendf(fps, "%016x/", e.fp)
 	}
+	// Resolve the execution plan. A fixed-method submission is priced
+	// on the service's configured grid; an "auto" submission runs the
+	// cost-based planner over the full candidate space (with the
+	// service's grid as one candidate) and is priced — and executed —
+	// as whatever the planner picked, so admission control always costs
+	// the plan that actually runs. Either way the ledger records the
+	// RAW prediction — recording calibrated values would compound the
+	// factors on the next calibration round — while admission orders
+	// and throttles by the calibrated cost.
+	var (
+		part   *grid.Partitioning
+		pred   *spatial.Prediction
+		priced *spatial.Prediction
+		plan   *spatial.Plan
+	)
+	if planned {
+		plan, err = spatial.PlanQuery(q, rels,
+			spatial.Config{SplitThreshold: s.cfg.SplitThreshold, Calibration: s.cal.Load()},
+			spatial.PlannerOptions{Reducers: s.plannerReducers()})
+		if err != nil {
+			return nil, err
+		}
+		method = plan.Method
+		part = plan.Part
+		pred = plan.Raw
+		priced = plan.Prediction
+	} else {
+		part, err = spatial.BuildPartitioning(s.cfg.Partition, rels, s.cfg.Reducers, s.cfg.SplitThreshold)
+		if err != nil {
+			return nil, err
+		}
+		pred, err = spatial.Predict(method, q, rels, spatial.Config{Part: part})
+		if err != nil {
+			return nil, err
+		}
+		priced = s.cal.Load().Apply(pred)
+	}
 	key := cacheKey{query: q.String(), method: method, fps: string(fps)}
-
-	part, err := spatial.BuildPartitioning(s.cfg.Partition, rels, s.cfg.Reducers, s.cfg.SplitThreshold)
-	if err != nil {
-		return nil, err
-	}
-	// Predict raw, then price with the learned calibration factors (if
-	// any). The ledger must record the RAW prediction — recording
-	// calibrated values would compound the factors on the next
-	// calibration round — while admission orders and throttles by the
-	// calibrated cost.
-	pred, err := spatial.Predict(method, q, rels, spatial.Config{Part: part})
-	if err != nil {
-		return nil, err
-	}
-	priced := s.cal.Load().Apply(pred)
 
 	s.seq++
 	j := &Job{
@@ -372,6 +407,12 @@ func (s *Server) Submit(req SubmitRequest) (*JobStatus, error) {
 		done:     make(chan struct{}),
 	}
 	j.part = part
+	j.planned = planned
+	if plan != nil {
+		j.plan = plan
+		j.optimizeOrder = plan.OptimizeOrder
+		j.noCombiner = !plan.Combiner
+	}
 	s.reg.Counter("server_jobs_submitted_total").Add(1)
 
 	if res, ok := s.cache.get(key); ok {
@@ -405,6 +446,28 @@ func (s *Server) Submit(req SubmitRequest) (*JobStatus, error) {
 	heap.Push(&s.queue, j)
 	s.cond.Signal()
 	return j.status(), nil
+}
+
+// plannerReducers is the grid-resolution candidate set for "auto"
+// submissions: the planner's default resolutions plus the service's
+// configured reducer count (when it is a perfect square — the uniform
+// candidates require one; a non-square setting still reaches the
+// adaptive candidates through the defaults).
+func (s *Server) plannerReducers() []int {
+	out := []int{16, 64, 256}
+	k := s.cfg.Reducers
+	if k <= 0 {
+		return out
+	}
+	for _, v := range out {
+		if v == k {
+			return out
+		}
+	}
+	if side := int(math.Round(math.Sqrt(float64(k)))); side*side == k {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Status snapshots a job.
@@ -659,13 +722,15 @@ func (s *Server) nextJob() *Job {
 // runJob executes one claimed job and finalises it.
 func (s *Server) runJob(j *Job) {
 	cfg := spatial.Config{
-		Part:        j.part,
-		Parallelism: s.cfg.Parallelism,
-		Columnar:    s.cfg.Columnar,
-		SpillBudget: s.cfg.SpillBudget,
-		Context:     j.ctx,
-		Tracer:      j.tracer,
-		Metrics:     s.reg,
+		Part:          j.part,
+		Parallelism:   s.cfg.Parallelism,
+		Columnar:      s.cfg.Columnar,
+		SpillBudget:   s.cfg.SpillBudget,
+		OptimizeOrder: j.optimizeOrder,
+		NoCombiner:    j.noCombiner,
+		Context:       j.ctx,
+		Tracer:        j.tracer,
+		Metrics:       s.reg,
 		OnChainStep: func(i int, name string) {
 			s.mu.Lock()
 			j.stepsDone = i

@@ -1,6 +1,18 @@
 package spatial
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// usableFactor reports whether f may be multiplied into a prediction: a
+// finite positive number. NaN fails every comparison and +Inf passes a
+// plain f > 0 test, so both are rejected explicitly — a single bad
+// ledger-learned factor must degrade to the identity, not poison the
+// planner's cost order.
+func usableFactor(f float64) bool {
+	return f > 0 && !math.IsInf(f, 1)
+}
 
 // Calibration holds multiplicative correction factors learned from a
 // ledger of predicted-vs-actual executions (internal/profile derives
@@ -13,8 +25,8 @@ import "fmt"
 //	copies      rectangle copies shipped to the join round
 //	tuples      output cardinality
 //
-// A missing or non-positive factor means "no correction" (×1), so a
-// zero-value or nil Calibration is the identity. Calibration only
+// A missing, non-positive or non-finite factor means "no correction"
+// (×1), so a zero-value or nil Calibration is the identity. Calibration only
 // adjusts Predict's numbers — it never changes which tuples a query
 // returns.
 type Calibration struct {
@@ -33,7 +45,7 @@ func (c *Calibration) Factor(method Method, field string) float64 {
 	if c == nil {
 		return 1
 	}
-	if f, ok := c.Factors[CalibrationKey(method, field)]; ok && f > 0 {
+	if f, ok := c.Factors[CalibrationKey(method, field)]; ok && usableFactor(f) {
 		return f
 	}
 	return 1
@@ -45,7 +57,7 @@ func (c *Calibration) roundFactor(method Method, i int) float64 {
 	if c == nil {
 		return 1
 	}
-	if f, ok := c.Factors[CalibrationKey(method, fmt.Sprintf("round%d", i))]; ok && f > 0 {
+	if f, ok := c.Factors[CalibrationKey(method, fmt.Sprintf("round%d", i))]; ok && usableFactor(f) {
 		return f
 	}
 	return c.Factor(method, "pairs")

@@ -1,0 +1,49 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCalibrationFactorRejectsUnusable: NaN passes no comparison and
+// +Inf passes a naive f > 0 guard, so the factor lookups must reject
+// both explicitly — along with zero and negative garbage — and degrade
+// to the ×1 identity.
+func TestCalibrationFactorRejectsUnusable(t *testing.T) {
+	cal := &Calibration{Factors: map[string]float64{
+		CalibrationKey(Cascade, "pairs"):      math.Inf(1),
+		CalibrationKey(Cascade, "tuples"):     math.NaN(),
+		CalibrationKey(Cascade, "copies"):     0,
+		CalibrationKey(Cascade, "replicated"): -2,
+		CalibrationKey(Cascade, "round1"):     2.5,
+	}}
+	for _, field := range []string{"pairs", "tuples", "copies", "replicated"} {
+		if f := cal.Factor(Cascade, field); f != 1 {
+			t.Errorf("Factor(%s) = %v, want identity 1", field, f)
+		}
+	}
+	if f := cal.roundFactor(Cascade, 1); f != 2.5 {
+		t.Errorf("roundFactor(1) = %v, want the usable per-round 2.5", f)
+	}
+	// round0 has no per-round entry; the "pairs" fallback is +Inf and
+	// therefore unusable too.
+	if f := cal.roundFactor(Cascade, 0); f != 1 {
+		t.Errorf("roundFactor(0) = %v, want identity 1", f)
+	}
+	var nilCal *Calibration
+	if f := nilCal.Factor(Cascade, "pairs"); f != 1 {
+		t.Errorf("nil calibration factor = %v, want 1", f)
+	}
+	p := &Prediction{Method: Cascade, RoundPairs: []float64{10, 10}, Pairs: 20, Replicated: 3, Copies: 13, Tuples: 4}
+	got := cal.Apply(p)
+	for name, v := range map[string]float64{
+		"Pairs": got.Pairs, "Replicated": got.Replicated, "Copies": got.Copies, "Tuples": got.Tuples,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("Apply leaked non-finite %s = %v", name, v)
+		}
+	}
+	if got.Pairs != 10+25 {
+		t.Errorf("Apply pairs = %v, want 35 (round0 ×1, round1 ×2.5)", got.Pairs)
+	}
+}

@@ -29,6 +29,11 @@ type Config struct {
 	// grid.AdaptiveOptions.SplitThreshold); ≤ 0 uses the default 1.0.
 	// Ignored when Part is set or Scheme is uniform.
 	SplitThreshold float64
+	// Reducers is the target cell count of the grid derived when Part is
+	// nil (the planner's per-query grid-resolution knob; must be a
+	// perfect square under the uniform scheme). ≤ 0 uses the default 64.
+	// Ignored when Part is set.
+	Reducers int
 	// RTreeSweepThreshold is the per-cell record count at which the
 	// cascade reducers switch their plane sweep to probes of a
 	// bulk-loaded STR R-tree, and the backtracking matchers escalate
@@ -120,6 +125,12 @@ type Config struct {
 	// the registry is attached to the FS for the duration of the run, so
 	// a metered execution must not share its FS with concurrent runs.
 	Metrics *metrics.Registry
+	// NoCombiner disables the map-side combiner of C-Rep's mark round
+	// (the planner's combiner on/off axis). The combiner is a set-level
+	// no-op on well-formed inputs, so tuples and intermediate pair
+	// counts are identical either way; only the Combine* Stats counters
+	// differ. Methods without a combiner ignore it.
+	NoCombiner bool
 	// OptimizeOrder replaces the default connectivity join order with a
 	// cost-based one derived from sampling estimates (footnote 1 of the
 	// paper assumes Cascade runs its 2-way joins in the optimal order).
@@ -248,7 +259,7 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 	}
 	part := cfg.Part
 	if part == nil {
-		if part, err = BuildPartitioning(cfg.Scheme, rels, 0, cfg.SplitThreshold); err != nil {
+		if part, err = BuildPartitioning(cfg.Scheme, rels, cfg.Reducers, cfg.SplitThreshold); err != nil {
 			return nil, err
 		}
 	}

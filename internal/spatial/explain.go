@@ -2,12 +2,62 @@ package spatial
 
 import (
 	"fmt"
+	"math"
 
 	"mwsjoin/internal/estimate"
 	"mwsjoin/internal/geom"
 	"mwsjoin/internal/grid"
 	"mwsjoin/internal/query"
 )
+
+// maxFiniteCost caps every predicted cost field. The cap is large
+// enough that no realistic estimate reaches it, yet small enough that
+// summing millions of capped fields (or multiplying by a runaway
+// calibration factor) still cannot overflow float64 to +Inf. The
+// planner's argmin requires a total order over candidate costs, which
+// NaN and Inf both break.
+const maxFiniteCost = 1e30
+
+// clampCost maps any estimate into the finite range [0, maxFiniteCost].
+// NaN and negative values collapse to 0: both only arise from degenerate
+// inputs (empty samples, zero cardinalities) where "no cost" is the
+// honest estimate.
+func clampCost(v float64) float64 {
+	switch {
+	case math.IsNaN(v) || v < 0:
+		return 0
+	case v > maxFiniteCost:
+		return maxFiniteCost
+	}
+	return v
+}
+
+// safeDiv returns a/b clamped to a finite non-negative cost, treating
+// an undefined quotient (b == 0 — an empty relation) as 0.
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return clampCost(a / b)
+}
+
+// sanitize enforces the Prediction invariant: every field is finite and
+// non-negative, and Pairs is exactly the sum of RoundPairs. Called on
+// every Predict return path, including after calibration factors are
+// applied, so downstream consumers (planner argmin, admission control,
+// ledger) never see NaN or Inf.
+func (p *Prediction) sanitize() *Prediction {
+	p.Pairs = 0
+	for i, n := range p.RoundPairs {
+		p.RoundPairs[i] = clampCost(n)
+		p.Pairs += p.RoundPairs[i]
+	}
+	p.Pairs = clampCost(p.Pairs)
+	p.Replicated = clampCost(p.Replicated)
+	p.Copies = clampCost(p.Copies)
+	p.Tuples = clampCost(p.Tuples)
+	return p
+}
 
 // Prediction is the EXPLAIN-mode cost estimate for one method: the
 // paper's §7.8.3 figures of merit predicted from uniform samples and
@@ -45,10 +95,24 @@ type Prediction struct {
 // zero communication: it runs no map-reduce job. When cfg.Calibration
 // is set, its learned per-method/per-phase correction factors are
 // multiplied into the returned estimate (see Calibration.Apply).
+//
+// Every field of the returned Prediction is finite and non-negative —
+// even for empty relations, degenerate geometry, or hostile calibration
+// factors — so candidate plans always have a total cost order.
 func Predict(method Method, q *query.Query, rels []Relation, cfg Config) (*Prediction, error) {
 	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree, cfg.RTreeSweepThreshold)
 	if err != nil {
 		return nil, err
+	}
+	// Reject non-finite rectangles up front, exactly as Execute does:
+	// a single NaN coordinate would otherwise poison every sampled sum
+	// below into NaN.
+	for s, rel := range rels {
+		for _, it := range rel.Items {
+			if err := it.R.Validate(); err != nil {
+				return nil, fmt.Errorf("spatial: relation %q (slot %d) item %d: %w", rel.Name, s, it.ID, err)
+			}
+		}
 	}
 	sampler := estimate.NewSampler(0, 2013)
 	if cfg.OptimizeOrder {
@@ -56,7 +120,7 @@ func Predict(method Method, q *query.Query, rels []Relation, cfg Config) (*Predi
 	}
 	part := cfg.Part
 	if part == nil {
-		if part, err = BuildPartitioning(cfg.Scheme, rels, 0, cfg.SplitThreshold); err != nil {
+		if part, err = BuildPartitioning(cfg.Scheme, rels, cfg.Reducers, cfg.SplitThreshold); err != nil {
 			return nil, err
 		}
 	}
@@ -81,11 +145,12 @@ func Predict(method Method, q *query.Query, rels []Relation, cfg Config) (*Predi
 		return nil, err
 	}
 	p.Rounds = len(p.RoundPairs)
-	for _, n := range p.RoundPairs {
-		p.Pairs += n
-	}
 	p.Tuples = pr.outputTuples()
-	return cfg.Calibration.Apply(p), nil
+	// Sanitize both before and after calibration: before, so Apply's
+	// factor multiplications start from finite fields (sanitize also
+	// derives Pairs as the sum of the clamped rounds); after, so a
+	// pathological ledger-learned factor still cannot leak Inf out.
+	return cfg.Calibration.Apply(p.sanitize()).sanitize(), nil
 }
 
 // predictor carries the sampled per-slot state of one Predict call.
@@ -140,7 +205,7 @@ func (pr *predictor) sampleMean(s int, f func(geom.Rect) float64) float64 {
 	for _, r := range sample {
 		sum += f(r)
 	}
-	return sum / float64(len(sample))
+	return clampCost(sum / float64(len(sample)))
 }
 
 // slotMean scales the sample mean of f up to the slot's full
@@ -161,6 +226,13 @@ func (pr *predictor) chain() []float64 {
 	est := out[0]
 	for p := 1; p < pl.m; p++ {
 		s := pl.order[p]
+		// Zero-relation short-circuit: an empty slot joins to nothing,
+		// so every chain prefix from here on is exactly 0 — no sampled
+		// ratio (and no division) is needed to know that.
+		if len(pr.slotRects(s)) == 0 || est == 0 {
+			est = 0
+			continue
+		}
 		grow := est
 		for i, e := range pl.edgesToPrev[p] {
 			o := e.Other(s)
@@ -168,16 +240,17 @@ func (pr *predictor) chain() []float64 {
 			no := float64(len(pr.slotRects(o)))
 			ns := float64(len(pr.slotRects(s)))
 			if i == 0 {
-				if no == 0 {
-					grow = 0
-				} else {
-					grow = est * card / no
-				}
-			} else if no*ns > 0 {
-				grow *= card / (no * ns)
+				// card/no is the expected fanout of one existing
+				// partial into slot s; safeDiv treats the empty-slot
+				// denominator as zero fanout.
+				grow = est * safeDiv(card, no)
+			} else {
+				// Further connecting edges filter multiplicatively by
+				// their selectivity card/(no·ns).
+				grow *= safeDiv(card, no*ns)
 			}
 		}
-		est = grow
+		est = clampCost(grow)
 		out[p] = est
 	}
 	return out

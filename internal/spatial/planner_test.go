@@ -1,0 +1,412 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mwsjoin/internal/dfs"
+	"mwsjoin/internal/geom"
+	"mwsjoin/internal/query"
+)
+
+// assertFinitePrediction fails if any cost field of a prediction is
+// NaN, infinite or negative — the invariant Predict documents and the
+// planner's total order depends on.
+func assertFinitePrediction(t *testing.T, ctx string, p *Prediction) {
+	t.Helper()
+	if p == nil {
+		t.Errorf("%s: nil prediction", ctx)
+		return
+	}
+	check := func(name string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("%s: %s = %v, want finite non-negative", ctx, name, v)
+		}
+	}
+	check("Pairs", p.Pairs)
+	check("Replicated", p.Replicated)
+	check("Copies", p.Copies)
+	check("Tuples", p.Tuples)
+	for i, rp := range p.RoundPairs {
+		check(fmt.Sprintf("RoundPairs[%d]", i), rp)
+	}
+}
+
+// plannerCase is one scenario of the planner battery.
+type plannerCase struct {
+	name  string
+	q     *query.Query
+	rels  []Relation
+	popts PlannerOptions
+	cfg   Config
+}
+
+// plannerDegenerateCases enumerates the degenerate inputs the planner
+// must survive: empty relations, single records, identical rectangles,
+// a one-cell grid, and a self-join.
+func plannerDegenerateCases() []plannerCase {
+	pair := func() *query.Query { return query.New("R1", "R2").Overlap(0, 1) }
+	some := []geom.Rect{
+		{X: 10, Y: 90, L: 5, B: 5},
+		{X: 12, Y: 88, L: 5, B: 5},
+		{X: 70, Y: 30, L: 4, B: 4},
+	}
+	identical := make([]geom.Rect, 40)
+	for i := range identical {
+		identical[i] = geom.Rect{X: 50, Y: 50, L: 10, B: 10}
+	}
+	self := NewRelation("R", some)
+	cases := []plannerCase{
+		{
+			name: "empty-relation",
+			q:    pair(),
+			rels: []Relation{NewRelation("R1", some), NewRelation("R2", nil)},
+		},
+		{
+			name: "all-empty",
+			q:    chain4(),
+			rels: []Relation{NewRelation("R1", nil), NewRelation("R2", nil), NewRelation("R3", nil), NewRelation("R4", nil)},
+		},
+		{
+			name: "single-record",
+			q:    pair(),
+			rels: []Relation{NewRelation("R1", some[:1]), NewRelation("R2", []geom.Rect{{X: 11, Y: 89, L: 5, B: 5}})},
+		},
+		{
+			name: "all-identical-rects",
+			q:    pair(),
+			rels: []Relation{NewRelation("R1", identical), NewRelation("R2", identical[:20])},
+		},
+		{
+			name:  "one-cell-grid",
+			q:     chain4(),
+			rels:  figure4Relations(),
+			popts: PlannerOptions{Reducers: []int{1}},
+		},
+		{
+			name: "self-join",
+			q:    query.New("a", "b", "c").Overlap(0, 1).Overlap(1, 2),
+			rels: []Relation{self, self, self},
+		},
+	}
+	return cases
+}
+
+// TestPlannerDegenerateBattery runs the planner over every degenerate
+// scenario: it must always return a valid plan with a finite cost whose
+// execution matches the brute-force oracle exactly.
+func TestPlannerDegenerateBattery(t *testing.T) {
+	for _, tc := range plannerDegenerateCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := PlanQuery(tc.q, tc.rels, tc.cfg, tc.popts)
+			if err != nil {
+				t.Fatalf("PlanQuery: %v", err)
+			}
+			if plan.Part == nil {
+				t.Fatal("plan has no partitioning")
+			}
+			if len(plan.Alternatives) == 0 || !reflect.DeepEqual(plan.Alternatives[0], plan.PlanCandidate) {
+				t.Fatal("Alternatives[0] must be the chosen plan")
+			}
+			for _, c := range plan.Alternatives {
+				ctx := fmt.Sprintf("candidate %s order=%t combiner=%t", c.label(), c.OptimizeOrder, c.Combiner)
+				if math.IsNaN(c.Cost) || math.IsInf(c.Cost, 0) || c.Cost < 0 {
+					t.Errorf("%s: cost = %v, want finite non-negative", ctx, c.Cost)
+				}
+				assertFinitePrediction(t, ctx+" calibrated", c.Prediction)
+				assertFinitePrediction(t, ctx+" raw", c.Raw)
+			}
+
+			res, err := ExecutePlan(plan, tc.q, tc.rels, tc.cfg)
+			if err != nil {
+				t.Fatalf("ExecutePlan(%s): %v", plan.label(), err)
+			}
+			want, err := Execute(BruteForce, tc.q, tc.rels, tc.cfg)
+			if err != nil {
+				t.Fatalf("brute-force oracle: %v", err)
+			}
+			if !reflect.DeepEqual(res.TupleSet(), want.TupleSet()) {
+				t.Errorf("plan %s tuples diverge from brute force: got %d, want %d",
+					plan.label(), len(res.TupleSet()), len(want.TupleSet()))
+			}
+		})
+	}
+}
+
+// TestPlannerEquivalenceBattery checks the chosen plan's execution is
+// tuple-identical to the brute-force oracle under the engine's stress
+// axes: parallelism × injected map/reduce faults, plus a kill/resume
+// pass at every job boundary.
+func TestPlannerEquivalenceBattery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	q := query.New("R1", "R2", "R3").Overlap(0, 1).Overlap(1, 2)
+	rels := randomRelations(rng, 3, 120, 1000, 60)
+
+	plan, err := PlanQuery(q, rels, Config{}, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(BruteForce, q, rels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := want.TupleSet()
+
+	faults := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "clean"},
+		{name: "map-fault", cfg: Config{
+			MaxAttempts: 3,
+			FailMap:     func(mapper, attempt int) bool { return mapper == 0 && attempt == 1 },
+		}},
+		{name: "reduce-fault", cfg: Config{
+			MaxAttempts: 3,
+			FailReduce:  func(reducer, attempt int) bool { return reducer%3 == 0 && attempt == 1 },
+		}},
+	}
+	for _, par := range []int{1, 2, 8} {
+		for _, f := range faults {
+			t.Run(fmt.Sprintf("p%d/%s", par, f.name), func(t *testing.T) {
+				cfg := f.cfg
+				cfg.Parallelism = par
+				res, err := ExecutePlan(plan, q, rels, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.TupleSet(), wantSet) {
+					t.Errorf("plan %s under p=%d/%s diverges from brute force", plan.label(), par, f.name)
+				}
+			})
+		}
+	}
+
+	// Kill the planned run before each job boundary, then resume from
+	// the checkpoint snapshot: same tuples, no lost or duplicated work.
+	clean, err := ExecutePlan(plan, q, rels, Config{FS: dfs.New(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := int(clean.Stats.Chain.JobsRun)
+	for k := 1; k < jobs; k++ {
+		t.Run(fmt.Sprintf("kill-resume-%d", k), func(t *testing.T) {
+			fs := dfs.New(0)
+			kk := k
+			_, err := ExecutePlan(plan, q, rels, Config{FS: fs, FailJob: func(i int) bool { return i == kk }})
+			if err == nil {
+				t.Fatal("killed run unexpectedly succeeded")
+			}
+			res, err := ExecutePlan(plan, q, rels, Config{FS: fs, Resume: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.TupleSet(), wantSet) {
+				t.Errorf("resumed plan %s diverges from brute force", plan.label())
+			}
+			if res.Stats.Chain.ResumedJobs != int64(kk) {
+				t.Errorf("resumed jobs = %d, want %d", res.Stats.Chain.ResumedJobs, kk)
+			}
+		})
+	}
+}
+
+// planFingerprint renders the full decision of a plan, down to every
+// alternative's cost, for determinism comparisons.
+func planFingerprint(p *Plan) string {
+	var b strings.Builder
+	for _, c := range p.Alternatives {
+		fmt.Fprintf(&b, "%s|%t|%t|%d|%.6g;", c.label(), c.OptimizeOrder, c.Combiner, c.Cells, c.Cost)
+	}
+	return b.String()
+}
+
+// TestPlannerDeterminism plans the same query twice and demands the
+// identical decision, including the full ranked alternative list.
+func TestPlannerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 2))
+	q := chain4()
+	rels := randomRelations(rng, 4, 200, 1000, 50)
+	a, err := PlanQuery(q, rels, Config{}, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanQuery(q, rels, Config{}, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planFingerprint(a) != planFingerprint(b) {
+		t.Errorf("same inputs, different plans:\n a: %s\n b: %s", planFingerprint(a), planFingerprint(b))
+	}
+}
+
+// TestPlannerRejectsBruteForce: BruteForce predicts zero communication
+// and would win any cost comparison vacuously, so asking the planner to
+// enumerate it is an error, not a silent bad plan.
+func TestPlannerRejectsBruteForce(t *testing.T) {
+	q := query.New("R1", "R2").Overlap(0, 1)
+	rels := []Relation{NewRelation("R1", nil), NewRelation("R2", nil)}
+	_, err := PlanQuery(q, rels, Config{}, PlannerOptions{Methods: []Method{BruteForce}})
+	if err == nil {
+		t.Fatal("planner accepted BruteForce")
+	}
+}
+
+// TestPlannerPinnedGrid: a caller-fixed Config.Part collapses the grid
+// axis — every candidate is priced against exactly that grid, and the
+// executed plan runs on it.
+func TestPlannerPinnedGrid(t *testing.T) {
+	q := chain4()
+	rels := figure4Relations()
+	part := grid2x2(t)
+	plan, err := PlanQuery(q, rels, Config{Part: part}, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Part != part {
+		t.Error("plan did not adopt the pinned grid")
+	}
+	for _, c := range plan.Alternatives {
+		if c.Cells != part.NumCells() {
+			t.Errorf("candidate %s priced against %d cells, want %d", c.label(), c.Cells, part.NumCells())
+		}
+	}
+}
+
+// TestPlannerExplainOutput sanity-checks the EXPLAIN PLAN rendering:
+// a header, the chosen row marked with *, one row per candidate.
+func TestPlannerExplainOutput(t *testing.T) {
+	q := chain4()
+	rels := figure4Relations()
+	plan, err := PlanQuery(q, rels, Config{}, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := plan.WriteExplain(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != len(plan.Alternatives)+1 {
+		t.Fatalf("explain table has %d lines, want %d:\n%s", len(lines), len(plan.Alternatives)+1, b.String())
+	}
+	if !strings.Contains(lines[0], "cost") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "*") {
+		t.Errorf("chosen row not marked: %q", lines[1])
+	}
+}
+
+// TestPredictFiniteOnDegenerateInputs is the regression battery for the
+// NaN/Inf cost-model holes: every method's prediction stays finite on
+// empty relations, single records and identical rectangles.
+func TestPredictFiniteOnDegenerateInputs(t *testing.T) {
+	for _, tc := range plannerDegenerateCases() {
+		for _, m := range []Method{BruteForce, Cascade, AllReplicate, ControlledReplicate, ControlledReplicateLimit} {
+			p, err := Predict(m, tc.q, tc.rels, Config{})
+			if err != nil {
+				t.Errorf("%s/%v: %v", tc.name, m, err)
+				continue
+			}
+			assertFinitePrediction(t, fmt.Sprintf("%s/%v", tc.name, m), p)
+			var sum float64
+			for _, rp := range p.RoundPairs {
+				sum += rp
+			}
+			if p.Pairs != sum {
+				t.Errorf("%s/%v: Pairs = %v, want sum of rounds %v", tc.name, m, p.Pairs, sum)
+			}
+		}
+	}
+}
+
+// TestPredictRejectsInvalidRects: a NaN coordinate must be a load-time
+// error, not a NaN that poisons every sampled sum downstream.
+func TestPredictRejectsInvalidRects(t *testing.T) {
+	q := query.New("R1", "R2").Overlap(0, 1)
+	bad := Relation{Name: "R2", Items: []Item{{ID: 0, R: geom.Rect{X: math.NaN(), Y: 1, L: 1, B: 1}}}}
+	rels := []Relation{NewRelation("R1", []geom.Rect{{X: 0, Y: 1, L: 1, B: 1}}), bad}
+	for _, m := range []Method{Cascade, AllReplicate, ControlledReplicate, ControlledReplicateLimit} {
+		if _, err := Predict(m, q, rels, Config{}); err == nil {
+			t.Errorf("%v: NaN rectangle accepted", m)
+		}
+	}
+}
+
+// TestPredictHostileCalibration: pathological learned factors (Inf,
+// NaN, zero, negative, astronomically large) must never leak a
+// non-finite cost out of Predict or the planner.
+func TestPredictHostileCalibration(t *testing.T) {
+	q := chain4()
+	rels := figure4Relations()
+	cal := &Calibration{Factors: map[string]float64{
+		CalibrationKey(ControlledReplicateLimit, "pairs"):      math.Inf(1),
+		CalibrationKey(ControlledReplicateLimit, "round0"):     math.NaN(),
+		CalibrationKey(ControlledReplicateLimit, "tuples"):     0,
+		CalibrationKey(ControlledReplicateLimit, "copies"):     -3,
+		CalibrationKey(ControlledReplicateLimit, "replicated"): 1e308,
+		CalibrationKey(Cascade, "round1"):                      1e308,
+	}}
+	for _, m := range []Method{Cascade, ControlledReplicateLimit} {
+		p, err := Predict(m, q, rels, Config{Calibration: cal})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		assertFinitePrediction(t, fmt.Sprintf("hostile calibration %v", m), p)
+	}
+	plan, err := PlanQuery(q, rels, Config{Calibration: cal}, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plan.Alternatives {
+		if math.IsNaN(c.Cost) || math.IsInf(c.Cost, 0) {
+			t.Errorf("candidate %s: non-finite cost %v under hostile calibration", c.label(), c.Cost)
+		}
+	}
+}
+
+// FuzzPlannerDeterminism: for any seed-derived workload, planning twice
+// yields the byte-identical decision — the property the daemon's
+// admission control and the result cache rely on.
+func FuzzPlannerDeterminism(f *testing.F) {
+	f.Add(uint64(1), uint64(2), 3, 50)
+	f.Add(uint64(7), uint64(11), 2, 1)
+	f.Add(uint64(2013), uint64(0), 4, 25)
+	f.Fuzz(func(t *testing.T, s1, s2 uint64, nRel, n int) {
+		if nRel < 2 {
+			nRel = 2
+		}
+		if nRel > 5 {
+			nRel = 5
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > 200 {
+			n = 200
+		}
+		rng := rand.New(rand.NewPCG(s1, s2))
+		rels := randomRelations(rng, nRel, n, 1000, 60)
+		slots := []string{"R1", "R2", "R3", "R4", "R5"}[:nRel]
+		q := query.New(slots...)
+		for i := 0; i+1 < nRel; i++ {
+			q = q.Overlap(i, i+1)
+		}
+		a, err := PlanQuery(q, rels, Config{}, PlannerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := PlanQuery(q, rels, Config{}, PlannerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if planFingerprint(a) != planFingerprint(b) {
+			t.Errorf("nondeterministic plan for seed (%d,%d):\n a: %s\n b: %s", s1, s2, planFingerprint(a), planFingerprint(b))
+		}
+	})
+}

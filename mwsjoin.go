@@ -389,6 +389,74 @@ func NewCalibrationEntry(q *Query, pred *Prediction, st *Stats) CalibrationEntry
 // usable entries. An empty ledger yields the identity calibration.
 func Calibrate(entries []CalibrationEntry) *Calibration { return profile.Calibrate(entries) }
 
+// PartitionScheme selects how the reducer grid is derived from the
+// data: PartitionUniform is the paper's fixed k×k grid,
+// PartitionAdaptive the sample-driven split/merge partitioning.
+type PartitionScheme = spatial.PartitionScheme
+
+// Partitioning scheme values, the parsed forms of Options.Partition.
+const (
+	PartitionUniform  = spatial.PartitionUniform
+	PartitionAdaptive = spatial.PartitionAdaptive
+)
+
+// ParsePartitionScheme parses "uniform" or "adaptive" (the empty
+// string is uniform).
+func ParsePartitionScheme(s string) (PartitionScheme, error) {
+	return spatial.ParsePartitionScheme(s)
+}
+
+// Plan is the cost-based planner's pick: the chosen method, grid,
+// join order and combiner setting, the calibrated cost estimate it was
+// priced from, and every rejected alternative. Obtain one with
+// PlanQuery, execute it with RunPlan, render it with WriteExplain.
+type Plan = spatial.Plan
+
+// PlanCandidate is one priced point of the planner's search space.
+type PlanCandidate = spatial.PlanCandidate
+
+// PlannerOptions bounds the planner's search space (methods, partition
+// schemes, grid resolutions) and tunes its cost scalar; the zero value
+// searches the full default space.
+type PlannerOptions = spatial.PlannerOptions
+
+// PlanQuery enumerates candidate execution plans for the query — every
+// map-reduce method, cascade join orderings, uniform vs adaptive
+// partitioning at several grid resolutions, combiner on/off — prices
+// each with the (optionally calibrated) EXPLAIN cost model, and
+// returns the cheapest as a Plan ready for RunPlan. Setting
+// Options.Partitioning or Options.Reducers pins the grid axis to that
+// one grid; leaving both zero lets the planner pick the resolution.
+// Planning is deterministic: the same query, relations and options
+// always produce the same plan. Every method returns the same tuples,
+// so a planner pick can only change cost, never the answer.
+func PlanQuery(q *Query, rels []Relation, opts *Options, popts PlannerOptions) (*Plan, error) {
+	cfg, err := buildConfig(rels, opts)
+	if err != nil {
+		return nil, err
+	}
+	return spatial.PlanQuery(q, rels, cfg, popts)
+}
+
+// RunPlan executes a planned query exactly as PlanQuery priced it: the
+// chosen method on the chosen grid, join order and combiner setting.
+// opts supplies everything else (parallelism, fault injection,
+// tracing, …) and may be nil.
+func RunPlan(q *Query, rels []Relation, plan *Plan, opts *Options) (*Result, error) {
+	return RunPlanContext(context.Background(), q, rels, plan, opts)
+}
+
+// RunPlanContext is RunPlan with cooperative cancellation (see
+// RunContext).
+func RunPlanContext(ctx context.Context, q *Query, rels []Relation, plan *Plan, opts *Options) (*Result, error) {
+	cfg, err := buildConfig(rels, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Context = ctx
+	return spatial.ExecutePlan(plan, q, rels, cfg)
+}
+
 // Run executes the query with the chosen method. rels[i] binds query
 // slot i; opts may be nil.
 func Run(q *Query, rels []Relation, method Method, opts *Options) (*Result, error) {

@@ -75,6 +75,26 @@ go test -race -count=1 -run 'TestProfileCalibrateFlags' ./cmd/mwsjoin
 go test -race -count=1 -run 'TestDaemonObservabilityEndToEnd' ./cmd/mwsjoind
 go test -race -count=1 -run 'TestBenchPR7Anchor' .
 
+echo "== cost-based planner battery under -race (degenerate inputs, equivalence, determinism) =="
+# The DESIGN.md §4h planner gate: every degenerate input yields a valid
+# finite-cost plan matching the brute-force oracle; the chosen plan is
+# tuple-identical under parallelism × faults × kill/resume; planning is
+# deterministic (same query + stats ⇒ same plan, fuzzed below); the
+# daemon's "auto" path prices the plan that actually runs; and the
+# committed BENCH_PR9.json anchor holds the planner within 1.1× of the
+# best hand-picked method on the workload matrix. -count=1 defeats the
+# cache so the race detector re-exercises the enumeration every run.
+go test -race -count=1 \
+    -run 'TestPlannerDegenerateBattery|TestPlannerEquivalenceBattery|TestPlannerDeterminism|TestPlannerPinnedGrid|TestPredictFiniteOnDegenerateInputs|TestPredictHostileCalibration|TestCalibrationFactorRejectsUnusable' \
+    ./internal/spatial
+go test -race -count=1 -run 'TestCalibrateDegenerateEntries' ./internal/profile
+go test -race -count=1 -run 'TestSubmitAutoMethod' ./internal/server
+go test -race -count=1 -run 'TestRunAutoMethod|TestExplainPlanFlag' ./cmd/mwsjoin
+go test -race -count=1 -run 'TestBenchPR9Anchor' .
+
+echo "== fuzz (FuzzPlannerDeterminism, 5s) =="
+go test -run='^$' -fuzz=FuzzPlannerDeterminism -fuzztime=5s ./internal/spatial
+
 echo "== paper-scale memory battery under -race (columnar + pooled + spill bit-identity, 1-byte budget) =="
 # The DESIGN.md §4g equivalence battery: every sorted run spills under
 # the deliberately tiny budget, and tuples/Stats/DFS charges must stay
