@@ -1,0 +1,309 @@
+package mwsjoin
+
+// BENCH_PR10.json is the committed distributed-runtime anchor: a
+// 3-worker loopback cluster (real TCP network shuffle) runs the
+// two-round cascade join at unit 20,000, recording the distributed
+// wall time, the ShuffleNetworkBytes the exchange moved, and the
+// recovery overhead of SIGKILLing one worker mid-round (the
+// coordinator restores checkpoints on the survivors and re-executes).
+// TestBenchPR10Anchor guards the committed record and re-runs a
+// reduced-scale live pass (tuple identity in-process vs distributed vs
+// recovered — wall-clock figures are only asserted on the committed
+// full-scale record). Regenerate with:
+//
+//	MWSJ_WRITE_BENCH_PR10=1 go test -run TestBenchPR10Anchor .
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"time"
+
+	"testing"
+
+	"mwsjoin/internal/cluster"
+	"mwsjoin/internal/dfs"
+	"mwsjoin/internal/query"
+	"mwsjoin/internal/spatial"
+)
+
+const (
+	pr10Seed    = 2013
+	pr10Workers = 3
+	pr10Query   = "R1 ov R2 and R2 ov R3"
+	// pr10DieAfter fires mid round 2 of the cascade (2 jobs × 3
+	// exchanges each), after the step-1 checkpoint exists — the
+	// recovery path that exercises checkpoint sync plus re-execution.
+	pr10DieAfter = 4
+	pr10Repeats  = 3
+)
+
+type pr10Anchor struct {
+	Unit       int    `json:"unit"`
+	Seed       uint64 `json:"seed"`
+	Workers    int    `json:"workers"`
+	Query      string `json:"query"`
+	Method     string `json:"method"`
+	Regenerate string `json:"regenerate"`
+	Tuples     int64  `json:"tuples"`
+	// Walls are best-of-pr10Repeats milliseconds; recovery is a single
+	// run (it deliberately includes the failure-detection latency).
+	InProcessWallMS float64 `json:"in_process_wall_ms"`
+	DistWallMS      float64 `json:"dist_wall_ms"`
+	// ShuffleNetworkBytes/Runs sum the per-round engine counters of the
+	// clean 3-worker run: framed run bytes actually sent to remote
+	// reducers, accounted separately from the DFS-charged
+	// IntermediateBytes (which stay bit-identical to in-process).
+	ShuffleNetworkBytes int64 `json:"shuffle_network_bytes"`
+	ShuffleNetworkRuns  int64 `json:"shuffle_network_runs"`
+	// The kill run: one worker SIGKILLed before its 4th exchange.
+	RecoveryWallMS        float64 `json:"recovery_wall_ms"`
+	RecoveryAttempts      int     `json:"recovery_attempts"`
+	RecoveryWorkers       int     `json:"recovery_workers"`
+	RecoveryOverheadRatio float64 `json:"recovery_overhead_ratio"`
+}
+
+func pr10Spec(unit int) (cluster.SessionSpec, error) {
+	rels := make([]Relation, 3)
+	for i, name := range []string{"R1", "R2", "R3"} {
+		rel, err := SyntheticRelation(name, PaperSyntheticParams(unit), pr10Seed)
+		if err != nil {
+			return cluster.SessionSpec{}, err
+		}
+		rels[i] = rel
+	}
+	cfg := spatial.Config{Reducers: 64, NumMappers: 8, Parallelism: 4}
+	return cluster.SpecFromConfig(Cascade, pr10Query, rels, cfg), nil
+}
+
+// pr10InProcess runs the spec's exact configuration on the in-process
+// engine — the bit-identity oracle for the distributed runs.
+func pr10InProcess(spec cluster.SessionSpec) (*Result, error) {
+	q, err := query.Parse(spec.Query)
+	if err != nil {
+		return nil, err
+	}
+	rels := make([]Relation, len(spec.Relations))
+	for i, rd := range spec.Relations {
+		if rels[i], err = cluster.UnpackRelation(rd); err != nil {
+			return nil, err
+		}
+	}
+	return spatial.Execute(Cascade, q, rels, spatial.Config{
+		Reducers:    spec.Reducers,
+		NumMappers:  spec.NumMappers,
+		Parallelism: spec.Parallelism,
+		FS:          dfs.New(0),
+	})
+}
+
+// pr10Cluster starts a coordinator plus pr10Workers loopback workers;
+// victim >= 0 arms that worker to kill itself (dropping all of its
+// connections at once) right before its pr10DieAfter-th exchange.
+func pr10Cluster(victim int) (*cluster.Coordinator, func(), error) {
+	coord, err := cluster.StartCoordinator(cluster.CoordinatorConfig{
+		HeartbeatTimeout: 500 * time.Millisecond,
+		SessionTimeout:   2 * time.Minute,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var workers []*cluster.Worker
+	shutdown := func() {
+		for _, w := range workers {
+			w.Close()
+		}
+		coord.Close()
+	}
+	for i := 0; i < pr10Workers; i++ {
+		cfg := cluster.WorkerConfig{
+			Coordinator:       coord.Addr(),
+			Name:              fmt.Sprintf("bw%d", i),
+			HeartbeatInterval: 100 * time.Millisecond,
+		}
+		if i == victim {
+			cfg.DieAfterExchanges = pr10DieAfter
+			cfg.DieInProcess = true
+		}
+		w, err := cluster.StartWorker(cfg)
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		workers = append(workers, w)
+	}
+	if err := coord.WaitForWorkers(pr10Workers, 10*time.Second); err != nil {
+		shutdown()
+		return nil, nil, err
+	}
+	return coord, shutdown, nil
+}
+
+func pr10NetBytes(st *Stats) (bytes, runs int64) {
+	for _, r := range st.Rounds {
+		bytes += r.ShuffleNetworkBytes
+		runs += r.ShuffleNetworkRuns
+	}
+	return bytes, runs
+}
+
+// measurePR10 runs the full measurement at the given scale.
+func measurePR10(unit int) (*pr10Anchor, error) {
+	a := &pr10Anchor{
+		Unit: unit, Seed: pr10Seed, Workers: pr10Workers,
+		Query: pr10Query, Method: Cascade.String(),
+		Regenerate: "MWSJ_WRITE_BENCH_PR10=1 go test -run TestBenchPR10Anchor .",
+	}
+	spec, err := pr10Spec(unit)
+	if err != nil {
+		return nil, err
+	}
+
+	// In-process reference (best of pr10Repeats).
+	var want *Result
+	a.InProcessWallMS = math.Inf(1)
+	for i := 0; i < pr10Repeats; i++ {
+		start := time.Now()
+		res, err := pr10InProcess(spec)
+		if err != nil {
+			return nil, err
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; ms < a.InProcessWallMS {
+			a.InProcessWallMS = ms
+		}
+		want = res
+	}
+	a.Tuples = want.Stats.OutputTuples
+
+	// Clean 3-worker distributed run (best of pr10Repeats sessions on
+	// one cluster).
+	coord, shutdown, err := pr10Cluster(-1)
+	if err != nil {
+		return nil, err
+	}
+	a.DistWallMS = math.Inf(1)
+	for i := 0; i < pr10Repeats; i++ {
+		start := time.Now()
+		rr, err := coord.Run(spec)
+		if err != nil {
+			shutdown()
+			return nil, fmt.Errorf("distributed run: %w", err)
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000; ms < a.DistWallMS {
+			a.DistWallMS = ms
+		}
+		if !reflect.DeepEqual(rr.Tuples, want.Tuples) {
+			shutdown()
+			return nil, fmt.Errorf("distributed tuples diverge from in-process (%d vs %d)", len(rr.Tuples), len(want.Tuples))
+		}
+		if rr.Stats.DFS != want.Stats.DFS {
+			shutdown()
+			return nil, fmt.Errorf("DFS charges diverge: dist %+v, in-process %+v", rr.Stats.DFS, want.Stats.DFS)
+		}
+		a.ShuffleNetworkBytes, a.ShuffleNetworkRuns = pr10NetBytes(&rr.Stats)
+	}
+	shutdown()
+
+	// Recovery run: fresh cluster, one worker dies mid round 2.
+	coord, shutdown, err = pr10Cluster(1)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+	start := time.Now()
+	rr, err := coord.Run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("recovery run: %w", err)
+	}
+	a.RecoveryWallMS = float64(time.Since(start).Microseconds()) / 1000
+	a.RecoveryAttempts = rr.Attempts
+	a.RecoveryWorkers = rr.Workers
+	a.RecoveryOverheadRatio = a.RecoveryWallMS / a.DistWallMS
+	if !reflect.DeepEqual(rr.Tuples, want.Tuples) {
+		return nil, fmt.Errorf("recovered tuples diverge from in-process (%d vs %d)", len(rr.Tuples), len(want.Tuples))
+	}
+	if rr.Attempts != 2 || rr.Workers != pr10Workers-1 {
+		return nil, fmt.Errorf("recovery took %d attempts on %d workers, want 2 attempts on %d", rr.Attempts, rr.Workers, pr10Workers-1)
+	}
+	return a, nil
+}
+
+// TestBenchPR10Anchor regenerates the distributed-runtime anchor when
+// MWSJ_WRITE_BENCH_PR10 is set; otherwise it runs the reduced-scale
+// live measurement (bit-identity and recovery are asserted inside
+// measurePR10 at any scale) and then validates the committed
+// full-scale record.
+func TestBenchPR10Anchor(t *testing.T) {
+	const anchorFile = "BENCH_PR10.json"
+	if os.Getenv("MWSJ_WRITE_BENCH_PR10") != "" {
+		unit := 20_000
+		if u := benchUnit(); u > unit {
+			unit = u
+		}
+		a, err := measurePR10(unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(anchorFile, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("unit %d: in-process %.1fms, 3-worker %.1fms (%d net bytes, %d runs), recovery %.1fms (%.2fx)",
+			a.Unit, a.InProcessWallMS, a.DistWallMS, a.ShuffleNetworkBytes, a.ShuffleNetworkRuns,
+			a.RecoveryWallMS, a.RecoveryOverheadRatio)
+		return
+	}
+
+	// Live reduced-scale pass: correctness only, no wall assertions.
+	live, err := measurePR10(benchUnit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Tuples == 0 {
+		t.Error("live run produced no tuples — the measurement is vacuous")
+	}
+	if live.ShuffleNetworkBytes <= 0 || live.ShuffleNetworkRuns <= 0 {
+		t.Errorf("live 3-worker run moved no shuffle bytes (%d bytes, %d runs)",
+			live.ShuffleNetworkBytes, live.ShuffleNetworkRuns)
+	}
+
+	// Committed full-scale anchor.
+	raw, err := os.ReadFile(anchorFile)
+	if err != nil {
+		t.Fatalf("missing committed anchor (regenerate with %q): %v",
+			"MWSJ_WRITE_BENCH_PR10=1 go test -run TestBenchPR10Anchor .", err)
+	}
+	var a pr10Anchor
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatalf("%s: %v", anchorFile, err)
+	}
+	if a.Unit < 20_000 {
+		t.Errorf("committed anchor unit %d < 20000", a.Unit)
+	}
+	if a.Seed != pr10Seed || a.Workers != pr10Workers || a.Query != pr10Query {
+		t.Errorf("committed anchor workload drifted: %+v", a)
+	}
+	if a.Tuples == 0 {
+		t.Error("committed anchor records no output tuples")
+	}
+	if a.ShuffleNetworkBytes <= 0 || a.ShuffleNetworkRuns <= 0 {
+		t.Errorf("committed anchor moved no network shuffle bytes (%d bytes, %d runs)",
+			a.ShuffleNetworkBytes, a.ShuffleNetworkRuns)
+	}
+	if a.InProcessWallMS <= 0 || a.DistWallMS <= 0 || a.RecoveryWallMS <= 0 {
+		t.Errorf("non-positive wall times: %+v", a)
+	}
+	if a.RecoveryAttempts != 2 || a.RecoveryWorkers != pr10Workers-1 {
+		t.Errorf("committed recovery took %d attempts on %d workers, want 2 on %d",
+			a.RecoveryAttempts, a.RecoveryWorkers, pr10Workers-1)
+	}
+	if math.Abs(a.RecoveryOverheadRatio-a.RecoveryWallMS/a.DistWallMS) > 1e-9 {
+		t.Errorf("overhead ratio %.4f inconsistent with walls %.3f/%.3f",
+			a.RecoveryOverheadRatio, a.RecoveryWallMS, a.DistWallMS)
+	}
+}

@@ -9,7 +9,14 @@
 //	datagen -kind synthetic -n 100000 -lmax 500 -bmax 500 -dist gaussian -out r2.csv
 //	datagen -kind roads -n 2092079 -out roads.csv
 //	datagen -kind roads -n 1000000 -sample 0.5 -enlarge 1.5 -out roads-half.csv
+//	datagen -kind zipf -n 100000 -clusters 16 -exponent 1.4 -out skew.csv -seed 7
 //	datagen -stats -in roads.csv
+//
+// -kind zipf emits the Zipf-clustered skewed workload of the
+// adaptive-partitioning evaluation (dataset.ZipfClustered): cluster
+// membership follows a Zipf law, so a handful of tight Gaussian
+// clusters absorb most of the data — the shape that breaks a uniform
+// grid's reducer balance.
 package main
 
 import (
@@ -31,7 +38,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
-		kind    = fs.String("kind", "synthetic", "dataset kind: synthetic | roads")
+		kind    = fs.String("kind", "synthetic", "dataset kind: synthetic | roads | zipf")
 		n       = fs.Int("n", 100_000, "number of rectangles")
 		out     = fs.String("out", "", "output file (default stdout)")
 		in      = fs.String("in", "", "with -stats: existing dataset to describe")
@@ -45,6 +52,11 @@ func run(args []string) error {
 		ymax = fs.Float64("ymax", 100_000, "y range upper bound (synthetic)")
 		lmax = fs.Float64("lmax", 100, "maximum rectangle length (synthetic)")
 		bmax = fs.Float64("bmax", 100, "maximum rectangle breadth (synthetic)")
+
+		clusters   = fs.Int("clusters", 0, "zipf: cluster centres (0 = default 16)")
+		exponent   = fs.Float64("exponent", 0, "zipf: Zipf exponent s — cluster rank r gets weight 1/r^s (0 = default 1.4)")
+		sigma      = fs.Float64("sigma", 0, "zipf: per-cluster Gaussian spread as a fraction of -xmax (0 = default 0.005)")
+		background = fs.Float64("background", 0, "zipf: fraction drawn uniformly over the whole space (0 = default 0.1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,8 +91,26 @@ func run(args []string) error {
 		}
 	case "roads":
 		rects = dataset.CaliforniaRoads(dataset.DefaultCaliforniaRoads(*n), *seed)
+	case "zipf":
+		p := dataset.SkewedDefaults(*n)
+		p.Clusters = *clusters
+		p.Exponent = *exponent
+		p.Space = *xmax
+		p.Sigma = *sigma
+		p.Background = *background
+		if *lmax != 100 { // keep the skew generator's own smaller default
+			p.LMax = *lmax
+		}
+		if *bmax != 100 {
+			p.BMax = *bmax
+		}
+		var err error
+		rects, err = dataset.ZipfClustered(p, *seed)
+		if err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown -kind %q (want synthetic or roads)", *kind)
+		return fmt.Errorf("unknown -kind %q (want synthetic, roads or zipf)", *kind)
 	}
 
 	if *sample < 1 {

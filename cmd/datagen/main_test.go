@@ -59,6 +59,46 @@ func TestGenerateRoadsWithSampleAndEnlarge(t *testing.T) {
 	}
 }
 
+func TestGenerateZipfClustered(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "z.csv")
+	args := []string{"-kind", "zipf", "-n", "2000", "-out", out, "-seed", "7",
+		"-clusters", "8", "-exponent", "1.6", "-xmax", "10000"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	rects, err := dataset.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 2000 {
+		t.Fatalf("got %d rects", len(rects))
+	}
+	for _, r := range rects {
+		if r.X < 0 || r.Y < 0 || r.X > 10000 || r.Y > 10000 {
+			t.Fatalf("rect %v outside the -xmax space", r)
+		}
+	}
+	// The CLI must hit the same generator as the library.
+	p := dataset.SkewedDefaults(2000)
+	p.Clusters, p.Exponent, p.Space = 8, 1.6, 10000
+	want, err := dataset.ZipfClustered(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rects[0] != want[0] || rects[1999] != want[1999] {
+		t.Error("-kind zipf diverges from dataset.ZipfClustered")
+	}
+	// Same flags, same file.
+	out2 := filepath.Join(t.TempDir(), "z2.csv")
+	if err := run(append(args[:len(args):len(args)], "-out", out2)); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := dataset.ReadFile(out2)
+	if len(again) != len(rects) || again[0] != rects[0] {
+		t.Error("zipf generation is not deterministic")
+	}
+}
+
 func TestStatsMode(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "r.csv")
 	if err := run([]string{"-kind", "synthetic", "-n", "100", "-out", out}); err != nil {

@@ -22,7 +22,15 @@
 //	GET    /v1/relations           registered relations with content fingerprints
 //	GET    /v1/slowlog             slow-query log (top-N jobs by end-to-end latency)
 //	GET    /v1/status              version, go version, uptime, job/state counts
-//	GET    /metrics                Prometheus text (server_*, server_slo_*, mapreduce_*, dfs_*, spatial_*)
+//	GET    /v1/workers             cluster worker roster (404 without -cluster-listen)
+//	GET    /metrics                Prometheus text (server_*, server_slo_*, server_workers_*, mapreduce_*, dfs_*, spatial_*)
+//
+// With -cluster-listen the daemon additionally runs a cluster
+// coordinator: mwsjworker processes register on that address, and every
+// submitted query executes distributed across the registered workers
+// with a real network shuffle instead of on the in-process engine.
+// Results are bit-identical either way; -cluster-workers N blocks
+// startup until N workers have joined.
 //
 // -ledger appends every executed job's predicted-vs-actual per-phase
 // costs to a calibration ledger file; with -calibrate the daemon prices
@@ -52,6 +60,7 @@ import (
 
 	"mwsjoin"
 
+	"mwsjoin/internal/cluster"
 	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/server"
 	"mwsjoin/internal/spatial"
@@ -118,6 +127,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		slowlogN   = fs.Int("slowlog", server.DefaultSlowlogSize, "slow-query log size (top-N jobs by end-to-end latency on /v1/slowlog); negative disables")
 		columnar   = fs.Bool("columnar", false, "stage each job's relations in the simulated DFS's columnar (structs-of-arrays) MBB storage; results and charged bytes are identical, host memory churn is far lower")
 		spillBudg  = fs.Int64("spill-budget", 0, "per-run in-memory byte budget for each mapper's sorted runs; over-budget runs spill to uncharged local scratch with identical results (0 = never spill)")
+		clListen   = fs.String("cluster-listen", "", "coordinator control address for mwsjworker processes; empty = in-process engine")
+		clWorkers  = fs.Int("cluster-workers", 1, "with -cluster-listen, wait for this many workers before serving")
+		clMappers  = fs.Int("cluster-mappers", 0, "with -cluster-listen, mappers per job (must be explicit across workers; 0 = 8)")
+		clBeatTO   = fs.Duration("cluster-heartbeat-timeout", 2*time.Second, "with -cluster-listen, a worker silent this long is declared dead and its sessions re-executed")
 	)
 	fs.Var(rels, "rel", "relation binding <name>=<file>; repeat once per relation")
 	if err := fs.Parse(args); err != nil {
@@ -135,6 +148,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var coord *cluster.Coordinator
+	if *clListen != "" {
+		coord, err = cluster.StartCoordinator(cluster.CoordinatorConfig{
+			Listen:           *clListen,
+			HeartbeatTimeout: *clBeatTO,
+			Metrics:          reg,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(stderr, "mwsjoind: coordinator: "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("-cluster-listen %s: %w", *clListen, err)
+		}
+		defer coord.Close()
+		fmt.Fprintf(stderr, "mwsjoind: coordinator on %s, waiting for %d worker(s)\n", coord.Addr(), *clWorkers)
+		if err := coord.WaitForWorkers(*clWorkers, time.Minute); err != nil {
+			return err
+		}
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueLimit:     *queueLimit,
@@ -146,6 +178,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Parallelism:    *parallel,
 		Columnar:       *columnar,
 		SpillBudget:    *spillBudg,
+		Cluster:        coord,
+		NumMappers:     *clMappers,
 		Metrics:        reg,
 		Version:        version,
 		SlowlogSize:    *slowlogN,

@@ -1,0 +1,569 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"mwsjoin/internal/metrics"
+	"mwsjoin/internal/spatial"
+)
+
+// CoordinatorConfig configures the cluster coordinator.
+type CoordinatorConfig struct {
+	// Listen is the control-plane listen address (default
+	// "127.0.0.1:0").
+	Listen string
+	// HeartbeatTimeout is how stale a worker's heartbeat may grow
+	// before the coordinator declares it dead and drops its connection
+	// (default 2s).
+	HeartbeatTimeout time.Duration
+	// SessionTimeout bounds one session attempt end to end (default
+	// 10min).
+	SessionTimeout time.Duration
+	// MaxAttempts bounds the run/recover cycle per session (default 3:
+	// the initial attempt plus two recoveries).
+	MaxAttempts int
+	// Metrics receives the server_workers_* gauges. May be nil.
+	Metrics *metrics.Registry
+	// Logf receives coordinator lifecycle logs. May be nil.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStatus is one worker's row in the observability surface
+// (GET /v1/workers and the status workers section).
+type WorkerStatus struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	DataAddr string `json:"data_addr"`
+	Alive    bool   `json:"alive"`
+	// InFlight counts the session attempts currently placed on the
+	// worker.
+	InFlight int `json:"in_flight"`
+	// LastHeartbeatMillis is the age of the last heartbeat (or any
+	// control message) from the worker.
+	LastHeartbeatMillis int64 `json:"last_heartbeat_ms"`
+	// Sessions counts the session attempts the worker has completed.
+	Sessions int64 `json:"sessions"`
+}
+
+// RunResult is one completed cluster query.
+type RunResult struct {
+	Tuples []spatial.Tuple
+	// Stats is worker 0's view of the run; under SPMD every worker
+	// reports identical totals (walls aside), so one view is the
+	// cluster's.
+	Stats spatial.Stats
+	// Workers is the roster size of the final (successful) attempt.
+	Workers int
+	// Attempts counts the attempts the session took; > 1 means the
+	// coordinator recovered from worker loss.
+	Attempts int
+	// Hash is the canonical tuple-set hash every roster member agreed
+	// on.
+	Hash string
+}
+
+// member is the coordinator's view of one registered worker.
+type member struct {
+	name     string
+	addr     string
+	dataAddr string
+	conn     net.Conn
+	enc      *json.Encoder
+	encMu    sync.Mutex
+
+	mu       sync.Mutex
+	lastBeat time.Time
+	alive    bool
+	inFlight int
+	sessions int64
+	// inbox receives result/chk messages routed by the member's reader
+	// goroutine; dead closes when the connection drops.
+	inbox chan message
+	dead  chan struct{}
+}
+
+func (m *member) send(msg message) error {
+	m.encMu.Lock()
+	defer m.encMu.Unlock()
+	return m.enc.Encode(msg)
+}
+
+// Coordinator owns cluster membership and runs query sessions across
+// the registered workers.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	members []*member
+	nextSes int
+
+	// runMu serializes sessions: one distributed query runs at a time
+	// (the SPMD lockstep would interleave exchanges of concurrent
+	// sessions safely — they key on session ids — but placement and
+	// recovery bookkeeping stay much simpler serialized).
+	runMu sync.Mutex
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartCoordinator opens the control listener and starts accepting
+// worker registrations.
+func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 2 * time.Second
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = 10 * time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
+	}
+	c := &Coordinator{cfg: cfg, ln: ln, done: make(chan struct{})}
+	c.wg.Add(2)
+	go func() { defer c.wg.Done(); c.acceptLoop() }()
+	go func() { defer c.wg.Done(); c.livenessLoop() }()
+	c.cfg.Logf("coordinator: control plane on %s", ln.Addr())
+	return c, nil
+}
+
+// Addr returns the coordinator's control address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the coordinator down and drops every worker connection.
+func (c *Coordinator) Close() error {
+	select {
+	case <-c.done:
+		return nil
+	default:
+	}
+	close(c.done)
+	c.ln.Close()
+	c.mu.Lock()
+	for _, m := range c.members {
+		m.conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() { defer c.wg.Done(); c.serveWorker(conn) }()
+	}
+}
+
+// serveWorker owns one worker's control connection: it requires a
+// register message first, then routes heartbeats into liveness and
+// everything else into the member's inbox.
+func (c *Coordinator) serveWorker(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	var hello message
+	conn.SetReadDeadline(time.Now().Add(c.cfg.HeartbeatTimeout))
+	if err := dec.Decode(&hello); err != nil || hello.Type != msgRegister || hello.Name == "" {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	m := &member{
+		name:     hello.Name,
+		addr:     conn.RemoteAddr().String(),
+		dataAddr: hello.DataAddr,
+		conn:     conn,
+		enc:      json.NewEncoder(conn),
+		lastBeat: time.Now(),
+		alive:    true,
+		inbox:    make(chan message, 16),
+		dead:     make(chan struct{}),
+	}
+	c.mu.Lock()
+	for _, other := range c.members {
+		other.mu.Lock()
+		dup := other.alive && other.name == m.name
+		other.mu.Unlock()
+		if dup {
+			c.mu.Unlock()
+			c.cfg.Logf("coordinator: rejecting duplicate worker name %q", m.name)
+			conn.Close()
+			return
+		}
+	}
+	c.members = append(c.members, m)
+	c.mu.Unlock()
+	c.publishGauges()
+	c.cfg.Logf("coordinator: worker %s registered (data %s)", m.name, m.dataAddr)
+
+	for {
+		var msg message
+		if err := dec.Decode(&msg); err != nil {
+			break
+		}
+		m.mu.Lock()
+		m.lastBeat = time.Now()
+		m.mu.Unlock()
+		if msg.Type == msgHeartbeat {
+			continue
+		}
+		select {
+		case m.inbox <- msg:
+		case <-c.done:
+			break
+		}
+	}
+	m.mu.Lock()
+	m.alive = false
+	m.mu.Unlock()
+	close(m.dead)
+	conn.Close()
+	c.publishGauges()
+	c.cfg.Logf("coordinator: worker %s lost", m.name)
+}
+
+// livenessLoop enforces the heartbeat timeout: a silent worker's
+// connection is dropped, which drives its reader loop to mark it dead.
+func (c *Coordinator) livenessLoop() {
+	t := time.NewTicker(c.cfg.HeartbeatTimeout / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			now := time.Now()
+			c.mu.Lock()
+			for _, m := range c.members {
+				m.mu.Lock()
+				stale := m.alive && now.Sub(m.lastBeat) > c.cfg.HeartbeatTimeout
+				m.mu.Unlock()
+				if stale {
+					c.cfg.Logf("coordinator: worker %s heartbeat stale, dropping", m.name)
+					m.conn.Close()
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Workers reports the observability rows for every worker the
+// coordinator has ever seen, registration order.
+func (c *Coordinator) Workers() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(c.members))
+	now := time.Now()
+	for _, m := range c.members {
+		m.mu.Lock()
+		out = append(out, WorkerStatus{
+			Name:                m.name,
+			Addr:                m.addr,
+			DataAddr:            m.dataAddr,
+			Alive:               m.alive,
+			InFlight:            m.inFlight,
+			LastHeartbeatMillis: now.Sub(m.lastBeat).Milliseconds(),
+			Sessions:            m.sessions,
+		})
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// publishGauges refreshes the server_workers_* gauges.
+func (c *Coordinator) publishGauges() {
+	reg := c.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	var alive, deadN, inflight int64
+	for _, ws := range c.Workers() {
+		if ws.Alive {
+			alive++
+			inflight += int64(ws.InFlight)
+		} else {
+			deadN++
+		}
+	}
+	reg.Gauge("server_workers_alive").Set(alive)
+	reg.Gauge("server_workers_dead").Set(deadN)
+	reg.Gauge("server_workers_inflight_tasks").Set(inflight)
+}
+
+// WaitForWorkers blocks until at least n workers are alive.
+func (c *Coordinator) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(c.aliveMembers()) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: %d workers not registered within %v", n, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (c *Coordinator) aliveMembers() []*member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*member
+	for _, m := range c.members {
+		m.mu.Lock()
+		if m.alive {
+			out = append(out, m)
+		}
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// Run executes one query session across the currently alive workers,
+// recovering from worker death by retrying the session on the
+// survivors with checkpoints synchronised and Resume set.
+func (c *Coordinator) Run(spec SessionSpec) (*RunResult, error) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+
+	c.mu.Lock()
+	c.nextSes++
+	session := fmt.Sprintf("s%04d", c.nextSes)
+	c.mu.Unlock()
+
+	var roster []*member
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		roster = c.aliveMembers()
+		if len(roster) == 0 {
+			return nil, fmt.Errorf("cluster: no alive workers")
+		}
+		spec.Resume = attempt > 0
+		res, failure, err := c.runAttempt(session, attempt, &spec, roster)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			res.Attempts = attempt + 1
+			c.endSession(session, roster)
+			return res, nil
+		}
+		c.cfg.Logf("coordinator: session %s attempt %d failed (%s), recovering", session, attempt, failure)
+		if attempt+1 < c.cfg.MaxAttempts {
+			if err := c.syncCheckpoints(session, c.aliveMembers()); err != nil {
+				return nil, fmt.Errorf("cluster: checkpoint sync after failed attempt: %w", err)
+			}
+		}
+	}
+	c.endSession(session, c.aliveMembers())
+	return nil, fmt.Errorf("cluster: session %s failed after %d attempts", session, c.cfg.MaxAttempts)
+}
+
+// attemptOutcome is one worker's terminal state within an attempt.
+type attemptOutcome struct {
+	msg  message
+	died bool
+}
+
+// runAttempt places one attempt on the roster and collects every
+// member's outcome. It returns (result, "", nil) on success,
+// (nil, reason, nil) when the attempt should be retried, and a hard
+// error when the session must be abandoned.
+func (c *Coordinator) runAttempt(session string, attempt int, spec *SessionSpec, roster []*member) (*RunResult, string, error) {
+	dataAddrs := make([]string, len(roster))
+	for i, m := range roster {
+		dataAddrs[i] = m.dataAddr
+	}
+	c.cfg.Logf("coordinator: session %s attempt %d on %d workers", session, attempt, len(roster))
+	for i, m := range roster {
+		m.mu.Lock()
+		m.inFlight++
+		m.mu.Unlock()
+		err := m.send(message{Type: msgStart, Session: session, Attempt: attempt, Self: i, Roster: dataAddrs, Spec: spec})
+		if err != nil {
+			m.conn.Close() // send failure == death; reader will mark it
+		}
+	}
+	c.publishGauges()
+	defer func() {
+		for _, m := range roster {
+			m.mu.Lock()
+			m.inFlight--
+			m.sessions++
+			m.mu.Unlock()
+		}
+		c.publishGauges()
+	}()
+
+	outcomes := make([]attemptOutcome, len(roster))
+	deadline := time.NewTimer(c.cfg.SessionTimeout)
+	defer deadline.Stop()
+	for i, m := range roster {
+	awaiting:
+		for {
+			select {
+			case msg := <-m.inbox:
+				if msg.Type == msgResult && msg.Session == session && msg.Attempt == attempt {
+					outcomes[i] = attemptOutcome{msg: msg}
+					break awaiting
+				}
+				// Stale chatter from a previous attempt; drop it.
+			case <-m.dead:
+				outcomes[i] = attemptOutcome{died: true}
+				break awaiting
+			case <-deadline.C:
+				return nil, "", fmt.Errorf("cluster: session %s attempt %d timed out after %v", session, attempt, c.cfg.SessionTimeout)
+			}
+		}
+	}
+
+	var died, failed int
+	var failReason string
+	for i, o := range outcomes {
+		switch {
+		case o.died:
+			died++
+		case !o.msg.OK:
+			failed++
+			if failReason == "" {
+				failReason = o.msg.Error
+			}
+			_ = i
+		}
+	}
+	if died > 0 {
+		return nil, fmt.Sprintf("%d worker(s) died, %d survivor(s) aborted", died, failed), nil
+	}
+	if failed > 0 {
+		// Nobody died: the failure is the job's own (bad query, engine
+		// error) and identical on every worker — retrying cannot help.
+		return nil, "", fmt.Errorf("cluster: session %s failed: %s", session, failReason)
+	}
+
+	// Success: every roster member must agree on the tuple hash.
+	hash := outcomes[0].msg.Hash
+	for i, o := range outcomes {
+		if o.msg.Hash != hash {
+			return nil, "", fmt.Errorf("cluster: session %s: worker %s hash %s disagrees with worker %s hash %s — distributed run is not bit-identical",
+				session, roster[i].name, o.msg.Hash, roster[0].name, hash)
+		}
+	}
+	res := &RunResult{Workers: len(roster), Hash: hash}
+	if err := json.Unmarshal(outcomes[0].msg.Stats, &res.Stats); err != nil {
+		return nil, "", fmt.Errorf("cluster: session %s: bad stats from worker %s: %w", session, roster[0].name, err)
+	}
+	res.Tuples = make([]spatial.Tuple, len(outcomes[0].msg.Tuples))
+	for i, ids := range outcomes[0].msg.Tuples {
+		res.Tuples[i] = spatial.Tuple{IDs: ids}
+	}
+	return res, "", nil
+}
+
+// request sends one control message and awaits the reply of the given
+// type for the session, tolerating stale inbox chatter.
+func (c *Coordinator) request(m *member, out message, wantType string) (message, error) {
+	if err := m.send(out); err != nil {
+		return message{}, fmt.Errorf("cluster: %s to %s: %w", out.Type, m.name, err)
+	}
+	deadline := time.NewTimer(c.cfg.HeartbeatTimeout * 5)
+	defer deadline.Stop()
+	for {
+		select {
+		case msg := <-m.inbox:
+			if msg.Type == wantType && msg.Session == out.Session {
+				if msg.Error != "" {
+					return message{}, fmt.Errorf("cluster: %s on %s: %s", out.Type, m.name, msg.Error)
+				}
+				return msg, nil
+			}
+		case <-m.dead:
+			return message{}, fmt.Errorf("cluster: worker %s died during %s", m.name, out.Type)
+		case <-deadline.C:
+			return message{}, fmt.Errorf("cluster: %s to %s timed out", out.Type, m.name)
+		}
+	}
+}
+
+// syncCheckpoints equalises the session's chain checkpoints across the
+// survivors: the union of everyone's files is installed everywhere, so
+// the resumed attempt finds the same committed prefix on every worker
+// and the SPMD chains stay in lockstep. (A checkpoint file is written
+// atomically after its job completes on every worker identically, so
+// same-named files hold identical bytes; union by name is safe.)
+func (c *Coordinator) syncCheckpoints(session string, survivors []*member) error {
+	if len(survivors) < 2 {
+		return nil
+	}
+	lists := make([][]string, len(survivors))
+	have := make([]map[string]bool, len(survivors))
+	union := map[string]int{} // file -> index of a holder
+	for i, m := range survivors {
+		reply, err := c.request(m, message{Type: msgListChk, Session: session}, msgChkList)
+		if err != nil {
+			return err
+		}
+		lists[i] = reply.Files
+		have[i] = make(map[string]bool, len(reply.Files))
+		for _, f := range reply.Files {
+			have[i][f] = true
+			if _, ok := union[f]; !ok {
+				union[f] = i
+			}
+		}
+	}
+	files := make([]string, 0, len(union))
+	for f := range union {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		donor := survivors[union[f]]
+		var data message
+		fetched := false
+		for i, m := range survivors {
+			if have[i][f] {
+				continue
+			}
+			if !fetched {
+				var err error
+				data, err = c.request(donor, message{Type: msgFetchChk, Session: session, File: f}, msgChkData)
+				if err != nil {
+					return err
+				}
+				fetched = true
+			}
+			if _, err := c.request(m, message{Type: msgInstallChk, Session: session, File: f, Records: data.Records}, msgChkOK); err != nil {
+				return err
+			}
+			c.cfg.Logf("coordinator: session %s: installed %s on %s (from %s)", session, f, m.name, donor.name)
+		}
+	}
+	return nil
+}
+
+// endSession releases the session state on the given workers.
+func (c *Coordinator) endSession(session string, members []*member) {
+	for _, m := range members {
+		m.send(message{Type: msgEnd, Session: session})
+	}
+}

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The data plane: each pair of workers in a session's roster shares one
+// persistent TCP connection carrying sequence-numbered frames. Every
+// engine exchange (mapreduce.Exchanger.AllToAll) happens in the same
+// order on every worker, so frame seq N from peer p is exactly the
+// payload of the worker's own N-th AllToAll call — the receiver
+// rendezvouses on the sequence number, never on timing, and a peer
+// racing one exchange ahead parks its frame in the pending map until
+// the local engine catches up.
+
+// meshMagic prefixes the hello line of every data connection.
+const meshMagic = "MWSJ-MESH1 "
+
+// meshHello identifies a dialed data connection to the acceptor.
+type meshHello struct {
+	Session string `json:"session"`
+	Attempt int    `json:"attempt"`
+	From    int    `json:"from"`
+}
+
+// defaultExchangeTimeout bounds one AllToAll rendezvous; it is a
+// backstop — a killed peer resets its connections and surfaces as a
+// read error long before this fires.
+const defaultExchangeTimeout = 60 * time.Second
+
+// meshConn is one peer connection: writes serialized by a mutex, reads
+// demuxed by a single reader goroutine into the seq-keyed pending map.
+type meshConn struct {
+	c  net.Conn
+	wg sync.WaitGroup
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64][]byte
+	err     error
+	notify  chan struct{} // cap 1: kicked after every delivery
+}
+
+func newMeshConn(c net.Conn) *meshConn {
+	mc := &meshConn{c: c, pending: make(map[uint64][]byte), notify: make(chan struct{}, 1)}
+	mc.wg.Add(1)
+	go mc.readLoop()
+	return mc
+}
+
+// readLoop pulls frames off the wire until the connection dies.
+func (mc *meshConn) readLoop() {
+	defer mc.wg.Done()
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(mc.c, hdr[:]); err != nil {
+			mc.fail(err)
+			return
+		}
+		seq := binary.LittleEndian.Uint64(hdr[:8])
+		n := binary.LittleEndian.Uint32(hdr[8:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(mc.c, payload); err != nil {
+			mc.fail(err)
+			return
+		}
+		mc.mu.Lock()
+		mc.pending[seq] = payload
+		mc.mu.Unlock()
+		mc.kick()
+	}
+}
+
+func (mc *meshConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err == nil {
+		mc.err = err
+	}
+	mc.mu.Unlock()
+	mc.kick()
+}
+
+func (mc *meshConn) kick() {
+	select {
+	case mc.notify <- struct{}{}:
+	default:
+	}
+}
+
+// send writes one frame; safe for concurrent use.
+func (mc *meshConn) send(seq uint64, payload []byte) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[:8], seq)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	mc.wmu.Lock()
+	defer mc.wmu.Unlock()
+	if _, err := mc.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := mc.c.Write(payload)
+	return err
+}
+
+// await blocks until frame seq arrives, the connection fails, or the
+// deadline passes.
+func (mc *meshConn) await(seq uint64, timeout time.Duration) ([]byte, error) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		mc.mu.Lock()
+		if p, ok := mc.pending[seq]; ok {
+			delete(mc.pending, seq)
+			mc.mu.Unlock()
+			return p, nil
+		}
+		err := mc.err
+		mc.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mesh peer lost: %w", err)
+		}
+		select {
+		case <-mc.notify:
+		case <-deadline.C:
+			return nil, fmt.Errorf("cluster: mesh exchange timed out after %v waiting for frame %d", timeout, seq)
+		}
+	}
+}
+
+func (mc *meshConn) close() {
+	mc.c.Close()
+	mc.wg.Wait()
+}
+
+// mesh implements mapreduce.Exchanger over one connection per peer.
+type mesh struct {
+	self    int
+	conns   []*meshConn // indexed by peer; nil at self
+	seq     uint64
+	timeout time.Duration
+
+	// exchanges counts completed AllToAll entries; when dieAfter is
+	// positive and the counter reaches it, onDie fires before the
+	// exchange proceeds — the deterministic mid-round kill hook the
+	// recovery tests and the check.sh SIGKILL stanza are built on.
+	exchanges int
+	dieAfter  int
+	onDie     func()
+}
+
+// dialMesh connects this worker to the session roster: the lower
+// session index dials the higher, the higher accepts through reg.
+func dialMesh(self int, roster []string, session string, attempt int, reg *meshRegistry, timeout time.Duration) (*mesh, error) {
+	if timeout <= 0 {
+		timeout = defaultExchangeTimeout
+	}
+	m := &mesh{self: self, conns: make([]*meshConn, len(roster)), timeout: timeout}
+	for p := range roster {
+		var c net.Conn
+		var err error
+		switch {
+		case p == self:
+			continue
+		case self < p:
+			c, err = dialPeer(roster[p], session, attempt, self, timeout)
+		default:
+			c, err = reg.accept(session, attempt, p, timeout)
+		}
+		if err != nil {
+			m.close()
+			return nil, fmt.Errorf("cluster: mesh setup with peer %d: %w", p, err)
+		}
+		m.conns[p] = newMeshConn(c)
+	}
+	return m, nil
+}
+
+func dialPeer(addr, session string, attempt, from int, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	hello, err := json.Marshal(meshHello{Session: session, Attempt: attempt, From: from})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(c, "%s%s\n", meshMagic, hello); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// AllToAll implements mapreduce.Exchanger: outgoing[p] goes to peer p,
+// the returned slice holds what every peer addressed to this worker on
+// its own matching call.
+func (m *mesh) AllToAll(tag string, outgoing [][]byte) ([][]byte, error) {
+	if len(outgoing) != len(m.conns) {
+		return nil, fmt.Errorf("cluster: AllToAll %s: %d payloads for a %d-worker mesh", tag, len(outgoing), len(m.conns))
+	}
+	m.exchanges++
+	if m.dieAfter > 0 && m.exchanges >= m.dieAfter && m.onDie != nil {
+		m.onDie()
+	}
+	seq := m.seq
+	m.seq++
+
+	// Writes go out concurrently so a large fan-out cannot deadlock
+	// against peers that are also mid-write: every conn's reads drain in
+	// its reader goroutine regardless of write progress.
+	var wg sync.WaitGroup
+	sendErrs := make([]error, len(m.conns))
+	for p, mc := range m.conns {
+		if mc == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(p int, mc *meshConn) {
+			defer wg.Done()
+			sendErrs[p] = mc.send(seq, outgoing[p])
+		}(p, mc)
+	}
+	wg.Wait()
+	for p, err := range sendErrs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: AllToAll %s: send to peer %d: %w", tag, p, err)
+		}
+	}
+
+	in := make([][]byte, len(m.conns))
+	in[m.self] = outgoing[m.self]
+	for p, mc := range m.conns {
+		if mc == nil {
+			continue
+		}
+		payload, err := mc.await(seq, m.timeout)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: AllToAll %s: receive from peer %d: %w", tag, p, err)
+		}
+		in[p] = payload
+	}
+	return in, nil
+}
+
+func (m *mesh) close() {
+	for _, mc := range m.conns {
+		if mc != nil {
+			mc.close()
+		}
+	}
+}
+
+// meshRegistry rendezvouses accepted data connections with the session
+// that awaits them: the worker's data listener reads each hello and
+// offers the connection here; dialMesh on the accepting side collects
+// it by (session, attempt, from) key.
+type meshRegistry struct {
+	mu      sync.Mutex
+	waiting map[string]chan net.Conn
+}
+
+func newMeshRegistry() *meshRegistry {
+	return &meshRegistry{waiting: make(map[string]chan net.Conn)}
+}
+
+func meshKey(session string, attempt, from int) string {
+	return fmt.Sprintf("%s/%d/%d", session, attempt, from)
+}
+
+func (r *meshRegistry) slot(key string) chan net.Conn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch, ok := r.waiting[key]
+	if !ok {
+		ch = make(chan net.Conn, 1)
+		r.waiting[key] = ch
+	}
+	return ch
+}
+
+// offer hands an accepted connection to the awaiting session, closing
+// it if nobody collects in time (e.g. a stale attempt).
+func (r *meshRegistry) offer(session string, attempt, from int, c net.Conn) {
+	ch := r.slot(meshKey(session, attempt, from))
+	select {
+	case ch <- c:
+	default:
+		c.Close()
+	}
+}
+
+// accept collects the connection dialed by the given lower-index peer.
+func (r *meshRegistry) accept(session string, attempt, from int, timeout time.Duration) (net.Conn, error) {
+	key := meshKey(session, attempt, from)
+	ch := r.slot(key)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	defer func() {
+		r.mu.Lock()
+		delete(r.waiting, key)
+		r.mu.Unlock()
+	}()
+	select {
+	case c := <-ch:
+		return c, nil
+	case <-deadline.C:
+		return nil, fmt.Errorf("cluster: no data connection from peer %d within %v", from, timeout)
+	}
+}
+
+// serveData runs a worker's data listener: it reads each inbound hello
+// line and routes the connection to the session awaiting it.
+func serveData(ln net.Listener, reg *meshRegistry) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			hello, err := readHello(c)
+			if err != nil {
+				c.Close()
+				return
+			}
+			reg.offer(hello.Session, hello.Attempt, hello.From, c)
+		}(c)
+	}
+}
+
+// readHello parses the magic-prefixed hello line off a fresh data
+// connection, reading byte-wise so no framed payload is swallowed.
+func readHello(c net.Conn) (meshHello, error) {
+	c.SetReadDeadline(time.Now().Add(defaultExchangeTimeout))
+	defer c.SetReadDeadline(time.Time{})
+	line := make([]byte, 0, 128)
+	var b [1]byte
+	for {
+		if _, err := c.Read(b[:]); err != nil {
+			return meshHello{}, err
+		}
+		if b[0] == '\n' {
+			break
+		}
+		if len(line) > 4096 {
+			return meshHello{}, fmt.Errorf("cluster: oversized mesh hello")
+		}
+		line = append(line, b[0])
+	}
+	if len(line) < len(meshMagic) || string(line[:len(meshMagic)]) != meshMagic {
+		return meshHello{}, fmt.Errorf("cluster: bad mesh hello magic")
+	}
+	var hello meshHello
+	if err := json.Unmarshal(line[len(meshMagic):], &hello); err != nil {
+		return meshHello{}, fmt.Errorf("cluster: bad mesh hello: %w", err)
+	}
+	return hello, nil
+}

@@ -349,9 +349,14 @@ func (c *Chain) writeCheckpoint(i int, name, file string, out [][]byte, st *Stat
 	// charged meta-record length — a paper-level cost figure — depend on
 	// whether the run spilled, breaking the contract that SpillBudget
 	// never changes any charged byte.
+	// The ShuffleNetwork* counters are excluded for the same reason:
+	// they depend on the cluster width the job happened to run at, and
+	// persisting them would make the charged meta-record length differ
+	// between distributed and in-process runs of the same chain.
 	ms := *st
 	ms.MapWall, ms.ReduceWall, ms.TotalWall = 0, 0, 0
 	ms.SpilledRuns, ms.SpillBytesWritten, ms.SpillBytesRead = 0, 0, 0
+	ms.ShuffleNetworkBytes, ms.ShuffleNetworkRuns = 0, 0
 	js, err := json.Marshal(chainMeta{Step: i, Name: name, Records: int64(len(out)), Stats: &ms})
 	if err != nil {
 		return err

@@ -1,0 +1,463 @@
+package mapreduce
+
+// Distributed execution (SPMD): every worker of a cluster runs the same
+// deterministic Job over the same input, but task *ownership* is
+// partitioned — mapper m belongs to worker m mod W, reducer r to worker
+// r mod W — and only three things ever cross the wire:
+//
+//  1. a map barrier gathering per-worker map accounting and errors, so
+//     every worker agrees on the job's MapAttempts/Combine*/Spill*
+//     totals and on whether (and how) the map phase failed;
+//  2. the network shuffle: each worker ships the EncodePair-framed
+//     sorted runs destined for remotely-owned reducers and receives the
+//     remotely-produced runs of its own reducers, so the merge tree
+//     sees exactly the batches[m][r] matrix an in-process run builds;
+//  3. a reduce barrier all-gathering the EncodeOutput-framed reducer
+//     outputs plus per-reducer accounting, so every worker finishes the
+//     job with the complete output slice and identical Stats.
+//
+// Because the merge delivers each key's values in (mapper index, emit
+// order) no matter which worker produced the run, and outputs are
+// assembled in reducer-index order, a distributed run is bit-identical
+// to the in-process engine; the only new Stats are the
+// ShuffleNetworkBytes/ShuffleNetworkRuns family counting what stage 2
+// actually shipped. A DistConfig with NumWorkers == 1 degenerates to
+// the in-process engine exactly (no exchange runs, network counters
+// stay zero).
+
+import (
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Exchanger is one collective data-plane primitive connecting the W
+// workers of a distributed job. Calls must happen in the same order on
+// every worker (the SPMD engine guarantees this); implementations match
+// the w-th call on one worker with the w-th call on every other.
+type Exchanger interface {
+	// AllToAll sends outgoing[w] to worker w (outgoing[self] is returned
+	// locally without touching the network) and returns the payloads
+	// received from every worker, indexed by worker. tag labels the
+	// exchange for diagnostics only.
+	AllToAll(tag string, outgoing [][]byte) ([][]byte, error)
+}
+
+// DistConfig distributes a job across a cluster of SPMD workers. All
+// workers must run the identical job — same input, same config, same
+// deterministic Map/Reduce — differing only in Self.
+type DistConfig struct {
+	// NumWorkers is the cluster width W; 1 means the in-process
+	// degenerate case (Exchanger may then be nil).
+	NumWorkers int
+	// Self is this worker's index in [0, NumWorkers).
+	Self int
+	// Exchanger is the data plane; required when NumWorkers > 1.
+	Exchanger Exchanger
+}
+
+// ownsMapper reports whether this worker executes mapper m.
+func (d *DistConfig) ownsMapper(m int) bool { return m%d.NumWorkers == d.Self }
+
+// ownsReducer reports whether this worker executes reducer r.
+func (d *DistConfig) ownsReducer(r int) bool { return r%d.NumWorkers == d.Self }
+
+// validate checks the distributed knobs at config time. numMappers is
+// the pre-default value: a W>1 job must pin NumMappers explicitly,
+// because the GOMAXPROCS default is machine-dependent and the split
+// boundaries decide task ownership.
+func (d *DistConfig) validate(job string, numMappers int) error {
+	if d.NumWorkers <= 0 {
+		return fmt.Errorf("mapreduce: job %q: DistConfig.NumWorkers must be positive, got %d", job, d.NumWorkers)
+	}
+	if d.Self < 0 || d.Self >= d.NumWorkers {
+		return fmt.Errorf("mapreduce: job %q: DistConfig.Self %d out of range [0,%d)", job, d.Self, d.NumWorkers)
+	}
+	if d.NumWorkers > 1 {
+		if d.Exchanger == nil {
+			return fmt.Errorf("mapreduce: job %q: DistConfig.NumWorkers > 1 requires an Exchanger", job)
+		}
+		if numMappers <= 0 {
+			return fmt.Errorf("mapreduce: job %q: distributed execution requires an explicit NumMappers (the GOMAXPROCS default is machine-dependent)", job)
+		}
+	}
+	return nil
+}
+
+// appendUvarint appends v in varint encoding.
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// readUvarint consumes one varint from buf.
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, errors.New("mapreduce: dist frame: truncated varint")
+	}
+	return v, buf[n:], nil
+}
+
+// readBytes consumes one length-prefixed byte string from buf.
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	n, rest, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, errors.New("mapreduce: dist frame: truncated record")
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// taskError is one worker's lowest-index failed task, flattened for the
+// wire. The barrier returns the globally lowest index so every worker
+// surfaces the same error the in-process engine would (it reports the
+// lowest-index failed task).
+type taskError struct {
+	idx int
+	msg string
+}
+
+// merge keeps the lower-index error.
+func (e *taskError) merge(idx int, msg string) {
+	if idx < 0 {
+		return
+	}
+	if e.idx < 0 || idx < e.idx {
+		e.idx, e.msg = idx, msg
+	}
+}
+
+func (e *taskError) append(buf []byte) []byte {
+	buf = appendUvarint(buf, uint64(int64(e.idx)+1)) // -1 (none) encodes as 0
+	buf = appendUvarint(buf, uint64(len(e.msg)))
+	return append(buf, e.msg...)
+}
+
+func (e *taskError) parse(buf []byte) ([]byte, error) {
+	idx, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	msg, buf, err := readBytes(buf)
+	if err != nil {
+		return nil, err
+	}
+	e.merge(int(int64(idx))-1, string(msg))
+	return buf, nil
+}
+
+// distGather all-gathers one payload: every worker receives every
+// worker's payload, indexed by worker.
+func distGather(d *DistConfig, tag string, payload []byte) ([][]byte, error) {
+	outgoing := make([][]byte, d.NumWorkers)
+	for w := range outgoing {
+		outgoing[w] = payload
+	}
+	return d.Exchanger.AllToAll(tag, outgoing)
+}
+
+// mapBarrierCounters are the per-worker map-phase contributions summed
+// by the barrier, in wire order.
+const mapBarrierCounters = 7
+
+// distMapBarrier is exchange stage 1: gather every worker's map-phase
+// accounting (attempt/failure/combine/spill counters over the mappers
+// it owns) and error state, overwrite the local partial sums in stats
+// with the global totals, and surface the globally lowest-index map
+// error (or nil). spillStats are this worker's owned-batch spill
+// counters, computed by the caller before the shuffle consumes the
+// spill fields.
+func distMapBarrier(d *DistConfig, stats *Stats, mapErrs []error, spilledRuns, spillBytes int64) error {
+	locErr := taskError{idx: -1}
+	for m, err := range mapErrs {
+		if err != nil {
+			// Mirror the in-process surface error exactly:
+			// fmt.Errorf("%w (mapper %d)", err, m).
+			locErr.merge(m, fmt.Sprintf("%s (mapper %d)", err.Error(), m))
+			break // mapErrs is index-ordered; the first is the lowest
+		}
+	}
+	payload := appendUvarint(nil, uint64(stats.MapAttempts))
+	payload = appendUvarint(payload, uint64(stats.MapFailures))
+	payload = appendUvarint(payload, uint64(stats.CombineInputPairs))
+	payload = appendUvarint(payload, uint64(stats.CombineOutputPairs))
+	payload = appendUvarint(payload, uint64(spilledRuns))
+	payload = appendUvarint(payload, uint64(spillBytes))
+	payload = appendUvarint(payload, uint64(spillBytes)) // written == read for committed runs
+	payload = locErr.append(payload)
+
+	incoming, err := distGather(d, "map-stats", payload)
+	if err != nil {
+		return fmt.Errorf("mapreduce: job %q: map barrier: %w", stats.Job, err)
+	}
+	var totals [mapBarrierCounters]int64
+	globErr := taskError{idx: -1}
+	for w, buf := range incoming {
+		for i := 0; i < mapBarrierCounters; i++ {
+			v, rest, err := readUvarint(buf)
+			if err != nil {
+				return fmt.Errorf("mapreduce: job %q: map barrier: worker %d: %w", stats.Job, w, err)
+			}
+			totals[i] += int64(v)
+			buf = rest
+		}
+		if _, err := globErr.parse(buf); err != nil {
+			return fmt.Errorf("mapreduce: job %q: map barrier: worker %d: %w", stats.Job, w, err)
+		}
+	}
+	stats.MapAttempts = totals[0]
+	stats.MapFailures = totals[1]
+	stats.CombineInputPairs = totals[2]
+	stats.CombineOutputPairs = totals[3]
+	stats.SpilledRuns = totals[4]
+	stats.SpillBytesWritten = totals[5]
+	stats.SpillBytesRead = totals[6]
+	if globErr.idx >= 0 {
+		return errors.New(globErr.msg)
+	}
+	return nil
+}
+
+// distExchangeRuns is exchange stage 2, the network shuffle: ship each
+// owned mapper's sorted runs destined for remotely-owned reducers
+// (reading back any that spilled — the sender-side re-read, matching
+// the written-once/read-once spill accounting committed in stage 1) and
+// receive the remote runs of the reducers this worker owns. On return,
+// batches[m][r] is populated for every locally-owned reducer column r
+// exactly as an in-process run would have built it; remote mappers'
+// rows are materialized so the merge tree can index them. Returns the
+// bytes and non-empty runs shipped to remote workers.
+func distExchangeRuns[I any, K cmp.Ordered, V any, O any](j *Job[I, K, V, O], cfg *Config, batches [][]pairBatch[K, V], nm int, pool *BufferPool) (int64, int64, error) {
+	d := cfg.Dist
+	W := d.NumWorkers
+	outgoing := make([][]byte, W)
+	var sentBytes, sentRuns int64
+	var rec []byte
+	for u := 0; u < W; u++ {
+		if u == d.Self {
+			continue
+		}
+		var buf []byte
+		for m := d.Self; m < nm; m += W {
+			for r := u; r < cfg.NumReducers; r += W {
+				b := &batches[m][r]
+				if b.spill != "" {
+					if err := readSpill(b, cfg.SpillFS, j.DecodePair, pool); err != nil {
+						return 0, 0, err
+					}
+				}
+				buf = appendUvarint(buf, uint64(m))
+				buf = appendUvarint(buf, uint64(r))
+				buf = appendUvarint(buf, uint64(b.bytes))
+				buf = appendUvarint(buf, uint64(len(b.pairs)))
+				for i := range b.pairs {
+					rec = j.EncodePair(b.pairs[i].key, b.pairs[i].val, rec[:0])
+					buf = appendUvarint(buf, uint64(len(rec)))
+					buf = append(buf, rec...)
+				}
+				if len(b.pairs) > 0 {
+					sentRuns++
+				}
+				// The shipped run's memory is dead locally: its reducer
+				// runs elsewhere.
+				putPairs(pool, b.pairs)
+				b.pairs = nil
+			}
+		}
+		outgoing[u] = buf
+		sentBytes += int64(len(buf))
+	}
+	incoming, err := d.Exchanger.AllToAll("runs", outgoing)
+	if err != nil {
+		return 0, 0, fmt.Errorf("mapreduce: job %q: run exchange: %w", cfg.Name, err)
+	}
+	// Materialize every remote mapper's row — the merge tree indexes
+	// batches[m][r] for all m, empty runs included.
+	for m := 0; m < nm; m++ {
+		if batches[m] == nil {
+			batches[m] = make([]pairBatch[K, V], cfg.NumReducers)
+		}
+	}
+	for w := 0; w < W; w++ {
+		if w == d.Self {
+			continue
+		}
+		buf := incoming[w]
+		for len(buf) > 0 {
+			var m64, r64, nbytes, npairs uint64
+			if m64, buf, err = readUvarint(buf); err != nil {
+				return 0, 0, fmt.Errorf("mapreduce: job %q: run exchange: worker %d: %w", cfg.Name, w, err)
+			}
+			if r64, buf, err = readUvarint(buf); err != nil {
+				return 0, 0, fmt.Errorf("mapreduce: job %q: run exchange: worker %d: %w", cfg.Name, w, err)
+			}
+			if nbytes, buf, err = readUvarint(buf); err != nil {
+				return 0, 0, fmt.Errorf("mapreduce: job %q: run exchange: worker %d: %w", cfg.Name, w, err)
+			}
+			if npairs, buf, err = readUvarint(buf); err != nil {
+				return 0, 0, fmt.Errorf("mapreduce: job %q: run exchange: worker %d: %w", cfg.Name, w, err)
+			}
+			m, r := int(m64), int(r64)
+			if m < 0 || m >= nm || r < 0 || r >= cfg.NumReducers {
+				return 0, 0, fmt.Errorf("mapreduce: job %q: run exchange: worker %d shipped run for mapper %d reducer %d out of range", cfg.Name, w, m, r)
+			}
+			ps := getPairs[K, V](pool, int(npairs))
+			for i := uint64(0); i < npairs; i++ {
+				var raw []byte
+				if raw, buf, err = readBytes(buf); err != nil {
+					return 0, 0, fmt.Errorf("mapreduce: job %q: run exchange: worker %d: %w", cfg.Name, w, err)
+				}
+				k, v, err := j.DecodePair(raw)
+				if err != nil {
+					return 0, 0, fmt.Errorf("mapreduce: job %q: run exchange: worker %d: %w", cfg.Name, w, err)
+				}
+				ps = append(ps, pair[K, V]{key: k, val: v})
+			}
+			batches[m][r] = pairBatch[K, V]{pairs: ps, bytes: int64(nbytes)}
+		}
+	}
+	return sentBytes, sentRuns, nil
+}
+
+// distReduceBarrier is exchange stage 3: all-gather each worker's
+// reduce accounting, per-owned-reducer shuffle/keys/bytes figures, the
+// EncodeOutput-framed outputs, and its stage-2 network counters. After
+// it, outputs/keyCounts/bytesPerReducer/stats are globally complete and
+// identical on every worker; a reduce failure anywhere surfaces the
+// same lowest-reducer error everywhere.
+func distReduceBarrier[I any, K cmp.Ordered, V any, O any](j *Job[I, K, V, O], cfg *Config, stats *Stats, outputs [][]O, keyCounts []int64, bytesPerReducer []int64, redErrs []error, netBytes, netRuns int64) error {
+	d := cfg.Dist
+	locErr := taskError{idx: -1}
+	for r, err := range redErrs {
+		if err != nil {
+			locErr.merge(r, err.Error())
+			break
+		}
+	}
+	payload := appendUvarint(nil, uint64(stats.ReduceAttempts))
+	payload = appendUvarint(payload, uint64(stats.ReduceFailures))
+	payload = appendUvarint(payload, uint64(netBytes))
+	payload = appendUvarint(payload, uint64(netRuns))
+	payload = locErr.append(payload)
+	nOwned := 0
+	for r := d.Self; r < cfg.NumReducers; r += d.NumWorkers {
+		nOwned++
+	}
+	payload = appendUvarint(payload, uint64(nOwned))
+	var rec []byte
+	for r := d.Self; r < cfg.NumReducers; r += d.NumWorkers {
+		payload = appendUvarint(payload, uint64(r))
+		payload = appendUvarint(payload, uint64(stats.PairsPerReducer[r]))
+		var nb int64
+		if bytesPerReducer != nil {
+			nb = bytesPerReducer[r]
+		}
+		payload = appendUvarint(payload, uint64(nb))
+		payload = appendUvarint(payload, uint64(keyCounts[r]))
+		payload = appendUvarint(payload, uint64(len(outputs[r])))
+		for i := range outputs[r] {
+			rec = j.EncodeOutput(outputs[r][i], rec[:0])
+			payload = appendUvarint(payload, uint64(len(rec)))
+			payload = append(payload, rec...)
+		}
+	}
+
+	incoming, err := distGather(d, "outputs", payload)
+	if err != nil {
+		return fmt.Errorf("mapreduce: job %q: reduce barrier: %w", cfg.Name, err)
+	}
+	var redAttempts, redFailures, totNetBytes, totNetRuns int64
+	globErr := taskError{idx: -1}
+	for w, buf := range incoming {
+		fail := func(err error) error {
+			return fmt.Errorf("mapreduce: job %q: reduce barrier: worker %d: %w", cfg.Name, w, err)
+		}
+		var v uint64
+		if v, buf, err = readUvarint(buf); err != nil {
+			return fail(err)
+		}
+		redAttempts += int64(v)
+		if v, buf, err = readUvarint(buf); err != nil {
+			return fail(err)
+		}
+		redFailures += int64(v)
+		if v, buf, err = readUvarint(buf); err != nil {
+			return fail(err)
+		}
+		totNetBytes += int64(v)
+		if v, buf, err = readUvarint(buf); err != nil {
+			return fail(err)
+		}
+		totNetRuns += int64(v)
+		if buf, err = globErr.parse(buf); err != nil {
+			return fail(err)
+		}
+		var n uint64
+		if n, buf, err = readUvarint(buf); err != nil {
+			return fail(err)
+		}
+		remote := w != d.Self
+		for i := uint64(0); i < n; i++ {
+			var r64, pairs, nb, keys, nout uint64
+			if r64, buf, err = readUvarint(buf); err != nil {
+				return fail(err)
+			}
+			if pairs, buf, err = readUvarint(buf); err != nil {
+				return fail(err)
+			}
+			if nb, buf, err = readUvarint(buf); err != nil {
+				return fail(err)
+			}
+			if keys, buf, err = readUvarint(buf); err != nil {
+				return fail(err)
+			}
+			if nout, buf, err = readUvarint(buf); err != nil {
+				return fail(err)
+			}
+			r := int(r64)
+			if r < 0 || r >= cfg.NumReducers {
+				return fail(fmt.Errorf("reducer %d out of range", r))
+			}
+			if remote {
+				stats.PairsPerReducer[r] = int64(pairs)
+				stats.IntermediatePairs += int64(pairs)
+				stats.IntermediateBytes += int64(nb)
+				keyCounts[r] = int64(keys)
+				if bytesPerReducer != nil {
+					bytesPerReducer[r] = int64(nb)
+				}
+				out := make([]O, 0, nout)
+				for k := uint64(0); k < nout; k++ {
+					var raw []byte
+					if raw, buf, err = readBytes(buf); err != nil {
+						return fail(err)
+					}
+					o, err := j.DecodeOutput(raw)
+					if err != nil {
+						return fail(err)
+					}
+					out = append(out, o)
+				}
+				outputs[r] = out
+			} else {
+				// Own payload round-trips locally; skip the records.
+				for k := uint64(0); k < nout; k++ {
+					if _, buf, err = readBytes(buf); err != nil {
+						return fail(err)
+					}
+				}
+			}
+		}
+	}
+	stats.ReduceAttempts = redAttempts
+	stats.ReduceFailures = redFailures
+	stats.ShuffleNetworkBytes = totNetBytes
+	stats.ShuffleNetworkRuns = totNetRuns
+	if globErr.idx >= 0 {
+		return errors.New(globErr.msg)
+	}
+	return nil
+}

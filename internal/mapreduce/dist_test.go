@@ -1,0 +1,322 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mwsjoin/internal/dfs"
+)
+
+// chanHub is an in-memory Exchanger fabric: chans[from][to] carries the
+// framed payloads of one worker pair, so W goroutine workers can run
+// the SPMD engine without a network.
+type chanHub struct {
+	w     int
+	chans [][]chan []byte
+}
+
+func newChanHub(w int) *chanHub {
+	h := &chanHub{w: w, chans: make([][]chan []byte, w)}
+	for i := range h.chans {
+		h.chans[i] = make([]chan []byte, w)
+		for j := range h.chans[i] {
+			h.chans[i][j] = make(chan []byte, 64)
+		}
+	}
+	return h
+}
+
+func (h *chanHub) exchanger(self int) Exchanger { return &chanExchanger{h: h, self: self} }
+
+type chanExchanger struct {
+	h    *chanHub
+	self int
+}
+
+func (e *chanExchanger) AllToAll(tag string, outgoing [][]byte) ([][]byte, error) {
+	if len(outgoing) != e.h.w {
+		return nil, fmt.Errorf("AllToAll %s: %d payloads for %d workers", tag, len(outgoing), e.h.w)
+	}
+	for w := 0; w < e.h.w; w++ {
+		if w != e.self {
+			e.h.chans[e.self][w] <- outgoing[w]
+		}
+	}
+	in := make([][]byte, e.h.w)
+	in[e.self] = outgoing[e.self]
+	for w := 0; w < e.h.w; w++ {
+		if w != e.self {
+			in[w] = <-e.h.chans[w][e.self]
+		}
+	}
+	return in, nil
+}
+
+// distTestJob builds the reference job the distributed equivalence
+// tests run: integer inputs fan out to two keys each, reducers fold the
+// values into order-sensitive strings, and the full pair/output codec
+// is wired so the job can both spill and distribute.
+func distTestJob(cfg Config, combine bool) *Job[int, int, int, string] {
+	j := &Job[int, int, int, string]{
+		Config: cfg,
+		Map: func(in int, emit func(int, int)) error {
+			emit(in%97, in)
+			emit(in%89, in*3)
+			return nil
+		},
+		Reduce: func(k int, vs []int, emit func(string)) error {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "%d:", k)
+			for _, v := range vs {
+				fmt.Fprintf(&sb, "%d,", v)
+			}
+			emit(sb.String())
+			return nil
+		},
+		PairBytes: func(int, int) int { return 16 },
+		EncodePair: func(k, v int, buf []byte) []byte {
+			buf = binary.AppendUvarint(buf, uint64(k))
+			return binary.AppendUvarint(buf, uint64(v))
+		},
+		DecodePair: func(rec []byte) (int, int, error) {
+			k, n := binary.Uvarint(rec)
+			if n <= 0 {
+				return 0, 0, errors.New("bad pair")
+			}
+			v, n2 := binary.Uvarint(rec[n:])
+			if n2 <= 0 {
+				return 0, 0, errors.New("bad pair")
+			}
+			return int(k), int(v), nil
+		},
+		EncodeOutput: func(o string, buf []byte) []byte { return append(buf, o...) },
+		DecodeOutput: func(rec []byte) (string, error) { return string(rec), nil },
+	}
+	if combine {
+		j.Combine = func(k int, vs []int) []int {
+			// Order-preserving pass-through keeps reduce semantics while
+			// exercising the combine accounting.
+			return vs
+		}
+	}
+	return j
+}
+
+// runDistributed executes the job on W SPMD workers over a chanHub and
+// returns each worker's result.
+func runDistributed(t *testing.T, w int, input []int, mk func(self int) *Job[int, int, int, string]) ([][]string, []*Stats, []error) {
+	t.Helper()
+	hub := newChanHub(w)
+	outs := make([][]string, w)
+	sts := make([]*Stats, w)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for self := 0; self < w; self++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			j := mk(self)
+			j.Config.Dist = &DistConfig{NumWorkers: w, Self: self, Exchanger: hub.exchanger(self)}
+			outs[self], sts[self], errs[self] = j.Run(input)
+		}(self)
+	}
+	wg.Wait()
+	return outs, sts, errs
+}
+
+// normalizeDistStats zeroes the fields that legitimately differ between
+// an in-process run and a distributed one: wall clocks and the network
+// shuffle family.
+func normalizeDistStats(s *Stats) Stats {
+	n := *s
+	n.MapWall, n.ReduceWall, n.TotalWall = 0, 0, 0
+	n.ShuffleNetworkBytes, n.ShuffleNetworkRuns = 0, 0
+	return n
+}
+
+func TestDistBitIdenticalToInProcess(t *testing.T) {
+	input := make([]int, 1000)
+	for i := range input {
+		input[i] = i * 7
+	}
+	base := Config{Name: "dist-eq", NumReducers: 13, NumMappers: 8, Parallelism: 4}
+
+	for _, combine := range []bool{false, true} {
+		want, wantSt, err := distTestJob(base, combine).Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 3, 5} {
+			outs, sts, errs := runDistributed(t, w, input, func(int) *Job[int, int, int, string] {
+				return distTestJob(base, combine)
+			})
+			for self := 0; self < w; self++ {
+				if errs[self] != nil {
+					t.Fatalf("combine=%v W=%d worker %d: %v", combine, w, self, errs[self])
+				}
+				if !reflect.DeepEqual(outs[self], want) {
+					t.Errorf("combine=%v W=%d worker %d: outputs diverge from in-process", combine, w, self)
+				}
+				got := normalizeDistStats(sts[self])
+				if !reflect.DeepEqual(got, normalizeDistStats(wantSt)) {
+					t.Errorf("combine=%v W=%d worker %d: stats diverge:\n got %+v\nwant %+v", combine, w, self, got, normalizeDistStats(wantSt))
+				}
+				if w > 1 && sts[self].ShuffleNetworkBytes <= 0 {
+					t.Errorf("combine=%v W=%d worker %d: no network bytes recorded", combine, w, self)
+				}
+				if w == 1 && sts[self].ShuffleNetworkBytes != 0 {
+					t.Errorf("combine=%v W=1: network bytes %d on the degenerate case", combine, sts[self].ShuffleNetworkBytes)
+				}
+				if sts[self].ShuffleNetworkBytes != sts[0].ShuffleNetworkBytes {
+					t.Errorf("combine=%v W=%d: workers disagree on network bytes", combine, w)
+				}
+			}
+		}
+	}
+}
+
+func TestDistSpillEquivalence(t *testing.T) {
+	input := make([]int, 500)
+	for i := range input {
+		input[i] = i * 11
+	}
+	mkCfg := func() Config {
+		return Config{Name: "dist-spill", NumReducers: 7, NumMappers: 6, Parallelism: 3,
+			SpillBudget: 1, SpillFS: dfs.New(0)}
+	}
+	plain := mkCfg()
+	plain.SpillBudget, plain.SpillFS = 0, nil
+	want, _, err := distTestJob(plain, false).Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled, spilledSt, err := distTestJob(mkCfg(), false).Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spilled, want) {
+		t.Fatal("in-process spill run diverges")
+	}
+	if spilledSt.SpilledRuns == 0 {
+		t.Fatal("1-byte budget spilled nothing; test is vacuous")
+	}
+	outs, sts, errs := runDistributed(t, 3, input, func(int) *Job[int, int, int, string] {
+		return distTestJob(mkCfg(), false)
+	})
+	for self := 0; self < 3; self++ {
+		if errs[self] != nil {
+			t.Fatalf("worker %d: %v", self, errs[self])
+		}
+		if !reflect.DeepEqual(outs[self], want) {
+			t.Errorf("worker %d: spilled distributed outputs diverge", self)
+		}
+		got := normalizeDistStats(sts[self])
+		if !reflect.DeepEqual(got, normalizeDistStats(spilledSt)) {
+			t.Errorf("worker %d: spilled distributed stats diverge:\n got %+v\nwant %+v", self, got, normalizeDistStats(spilledSt))
+		}
+	}
+}
+
+func TestDistFaultInjectionEquivalence(t *testing.T) {
+	input := make([]int, 300)
+	for i := range input {
+		input[i] = i * 5
+	}
+	mkCfg := func() Config {
+		return Config{Name: "dist-fault", NumReducers: 9, NumMappers: 7, Parallelism: 4,
+			MaxAttempts: 3,
+			FailMap:     func(m, attempt int) bool { return m == 2 && attempt == 1 },
+			FailReduce:  func(r, attempt int) bool { return r == 4 && attempt < 3 },
+		}
+	}
+	want, wantSt, err := distTestJob(mkCfg(), false).Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, sts, errs := runDistributed(t, 3, input, func(int) *Job[int, int, int, string] {
+		return distTestJob(mkCfg(), false)
+	})
+	for self := 0; self < 3; self++ {
+		if errs[self] != nil {
+			t.Fatalf("worker %d: %v", self, errs[self])
+		}
+		if !reflect.DeepEqual(outs[self], want) {
+			t.Errorf("worker %d: outputs diverge under fault injection", self)
+		}
+		got := normalizeDistStats(sts[self])
+		if !reflect.DeepEqual(got, normalizeDistStats(wantSt)) {
+			t.Errorf("worker %d: stats diverge under fault injection:\n got %+v\nwant %+v", self, got, normalizeDistStats(wantSt))
+		}
+	}
+}
+
+func TestDistErrorIdentity(t *testing.T) {
+	input := make([]int, 100)
+	for i := range input {
+		input[i] = i
+	}
+	mkCfg := func() Config {
+		return Config{Name: "dist-err", NumReducers: 5, NumMappers: 4, Parallelism: 2,
+			MaxAttempts: 2,
+			FailMap:     func(m, attempt int) bool { return m >= 1 }, // mappers 1..3 always fail
+		}
+	}
+	_, _, inErr := distTestJob(mkCfg(), false).Run(input)
+	if inErr == nil {
+		t.Fatal("in-process run unexpectedly succeeded")
+	}
+	_, _, errs := runDistributed(t, 3, input, func(int) *Job[int, int, int, string] {
+		return distTestJob(mkCfg(), false)
+	})
+	for self, err := range errs {
+		if err == nil {
+			t.Fatalf("worker %d: expected failure", self)
+		}
+		if err.Error() != inErr.Error() {
+			t.Errorf("worker %d: error %q, in-process %q", self, err, inErr)
+		}
+	}
+}
+
+func TestDistValidation(t *testing.T) {
+	input := []int{1, 2, 3}
+	hub := newChanHub(2)
+	// Missing NumMappers.
+	j := distTestJob(Config{Name: "v", NumReducers: 2}, false)
+	j.Config.Dist = &DistConfig{NumWorkers: 2, Self: 0, Exchanger: hub.exchanger(0)}
+	if _, _, err := j.Run(input); err == nil || !strings.Contains(err.Error(), "NumMappers") {
+		t.Errorf("missing NumMappers: err = %v", err)
+	}
+	// Missing exchanger.
+	j = distTestJob(Config{Name: "v", NumReducers: 2, NumMappers: 2}, false)
+	j.Config.Dist = &DistConfig{NumWorkers: 2, Self: 0}
+	if _, _, err := j.Run(input); err == nil || !strings.Contains(err.Error(), "Exchanger") {
+		t.Errorf("missing exchanger: err = %v", err)
+	}
+	// Missing output codec.
+	j = distTestJob(Config{Name: "v", NumReducers: 2, NumMappers: 2}, false)
+	j.Config.Dist = &DistConfig{NumWorkers: 2, Self: 0, Exchanger: hub.exchanger(0)}
+	j.EncodeOutput = nil
+	if _, _, err := j.Run(input); err == nil || !strings.Contains(err.Error(), "EncodeOutput") {
+		t.Errorf("missing output codec: err = %v", err)
+	}
+	// Self out of range.
+	j = distTestJob(Config{Name: "v", NumReducers: 2, NumMappers: 2}, false)
+	j.Config.Dist = &DistConfig{NumWorkers: 2, Self: 2, Exchanger: hub.exchanger(0)}
+	if _, _, err := j.Run(input); err == nil || !strings.Contains(err.Error(), "Self") {
+		t.Errorf("self out of range: err = %v", err)
+	}
+	// NumWorkers == 1 needs no exchanger and no explicit NumMappers.
+	j = distTestJob(Config{Name: "v", NumReducers: 2}, false)
+	j.Config.Dist = &DistConfig{NumWorkers: 1, Self: 0}
+	if _, _, err := j.Run(input); err != nil {
+		t.Errorf("degenerate single worker: %v", err)
+	}
+	_ = strconv.Itoa(0)
+}

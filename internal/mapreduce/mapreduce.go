@@ -134,12 +134,26 @@ type Config struct {
 	// SpillFS hosts spilled runs as uncharged local scratch (see
 	// dfs.CreateLocal); required when SpillBudget is positive.
 	SpillFS *dfs.FS
+	// Dist, when non-nil, runs the job as one SPMD worker of a cluster:
+	// task ownership is partitioned by index modulo Dist.NumWorkers,
+	// sorted runs destined for remote reducers ship over Dist.Exchanger,
+	// and the reduce barrier all-gathers outputs so every worker returns
+	// the complete, bit-identical result (see dist.go). NumWorkers == 1
+	// is exactly the in-process engine. Distribution with NumWorkers > 1
+	// requires the EncodePair/DecodePair/EncodeOutput/DecodeOutput
+	// codecs and an explicit NumMappers.
+	Dist *DistConfig
 }
 
 func (c *Config) withDefaults() (Config, error) {
 	cfg := *c
 	if cfg.NumReducers <= 0 {
 		return cfg, fmt.Errorf("mapreduce: job %q: NumReducers must be positive, got %d", cfg.Name, cfg.NumReducers)
+	}
+	if cfg.Dist != nil {
+		if err := cfg.Dist.validate(cfg.Name, cfg.NumMappers); err != nil {
+			return cfg, err
+		}
 	}
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = runtime.GOMAXPROCS(0)
@@ -191,6 +205,17 @@ type Stats struct {
 	SpilledRuns       int64 `json:",omitempty"`
 	SpillBytesWritten int64 `json:",omitempty"`
 	SpillBytesRead    int64 `json:",omitempty"`
+	// ShuffleNetworkBytes and ShuffleNetworkRuns count what the
+	// distributed run exchange actually shipped between workers: the
+	// framed bytes and non-empty sorted runs sent to remotely-owned
+	// reducers, summed over all workers (every worker reports the same
+	// global totals). They are deliberately NOT folded into
+	// IntermediateBytes — the paper's communication metric counts what
+	// the shuffle routes, not which machine it lands on — and stay zero
+	// for in-process and single-worker runs, so those serialize exactly
+	// as before.
+	ShuffleNetworkBytes int64 `json:",omitempty"`
+	ShuffleNetworkRuns  int64 `json:",omitempty"`
 	// PairsPerReducer measures reducer load balance: entry i is the
 	// number of intermediate pairs routed to reducer i.
 	PairsPerReducer []int64
@@ -254,6 +279,8 @@ func (s *Stats) Add(o *Stats) {
 	s.SpilledRuns += o.SpilledRuns
 	s.SpillBytesWritten += o.SpillBytesWritten
 	s.SpillBytesRead += o.SpillBytesRead
+	s.ShuffleNetworkBytes += o.ShuffleNetworkBytes
+	s.ShuffleNetworkRuns += o.ShuffleNetworkRuns
 	s.MapWall += o.MapWall
 	s.ReduceWall += o.ReduceWall
 	s.TotalWall += o.TotalWall
@@ -304,6 +331,13 @@ type Job[I any, K cmp.Ordered, V any, O any] struct {
 	// order. Jobs without the codec never spill.
 	EncodePair func(key K, value V, buf []byte) []byte
 	DecodePair func(rec []byte) (K, V, error)
+	// EncodeOutput appends the wire encoding of one reducer output
+	// record to buf; DecodeOutput parses one back. They are the codec
+	// the distributed reduce barrier uses to all-gather reducer outputs
+	// across workers (Config.Dist with NumWorkers > 1 requires them);
+	// in-process jobs never call them.
+	EncodeOutput func(out O, buf []byte) []byte
+	DecodeOutput func(rec []byte) (O, error)
 }
 
 // pair is one intermediate key-value emitted by a mapper.
@@ -451,6 +485,20 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 	if j.Map == nil || j.Reduce == nil {
 		return nil, nil, fmt.Errorf("mapreduce: job %q: Map and Reduce are required", cfg.Name)
 	}
+	// dist is true only for genuinely multi-worker execution; a
+	// DistConfig with NumWorkers == 1 takes the in-process path whole.
+	dist := cfg.Dist != nil && cfg.Dist.NumWorkers > 1
+	if dist {
+		if legacyGrouping {
+			return nil, nil, fmt.Errorf("mapreduce: job %q: distributed execution is incompatible with the legacy grouping path", cfg.Name)
+		}
+		if j.EncodePair == nil || j.DecodePair == nil {
+			return nil, nil, fmt.Errorf("mapreduce: job %q: distributed execution requires the EncodePair/DecodePair codec", cfg.Name)
+		}
+		if j.EncodeOutput == nil || j.DecodeOutput == nil {
+			return nil, nil, fmt.Errorf("mapreduce: job %q: distributed execution requires the EncodeOutput/DecodeOutput codec", cfg.Name)
+		}
+	}
 	partition := j.Partition
 	if partition == nil {
 		partition = DefaultPartition[K]
@@ -517,6 +565,11 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 
 	specMap := make([]int64, nm)
 	runTasks(cfg.Parallelism, nm, func(m int) {
+		if dist && !cfg.Dist.ownsMapper(m) {
+			// A remotely-owned mapper runs on its owner; its sorted runs
+			// arrive through the network shuffle below.
+			return
+		}
 		if err := cancelled(); err != nil {
 			mapErrs[m] = err
 			return
@@ -661,10 +714,33 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			}
 		}
 	}
-	for m, err := range mapErrs {
-		if err != nil {
+	if dist {
+		// Exchange stage 1, the map barrier: commit this worker's spill
+		// accounting while the spill fields are still intact (the run
+		// exchange below re-reads remote-destined spills), then gather
+		// every worker's map accounting and error state so all workers
+		// agree on the totals and on whether the map phase failed.
+		var spilledRuns, spillBytes int64
+		if spilling {
+			for m := range batches {
+				for r := range batches[m] {
+					if batches[m][r].spill != "" {
+						spilledRuns++
+						spillBytes += batches[m][r].spillBytes
+					}
+				}
+			}
+		}
+		if err := distMapBarrier(cfg.Dist, stats, mapErrs, spilledRuns, spillBytes); err != nil {
 			discardSpills()
-			return nil, nil, fmt.Errorf("%w (mapper %d)", err, m)
+			return nil, nil, err
+		}
+	} else {
+		for m, err := range mapErrs {
+			if err != nil {
+				discardSpills()
+				return nil, nil, fmt.Errorf("%w (mapper %d)", err, m)
+			}
 		}
 	}
 
@@ -674,10 +750,11 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		discardSpills()
 		return nil, nil, err
 	}
-	if spilling {
+	if spilling && !dist {
 		// Spill accounting is committed-batch-scoped like every other
 		// counter: discarded attempts deleted their scratch above, and
-		// each surviving run is written and read exactly once.
+		// each surviving run is written and read exactly once. (The
+		// distributed path committed it inside the map barrier.)
 		for m := range batches {
 			for r := range batches[m] {
 				if batches[m][r].spill != "" {
@@ -686,6 +763,16 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 					stats.SpillBytesRead += batches[m][r].spillBytes
 				}
 			}
+		}
+	}
+	var netBytes, netRuns int64
+	if dist {
+		// Exchange stage 2, the network shuffle: ship the sorted runs of
+		// remotely-owned reducers, receive the remote runs of our own.
+		var err error
+		if netBytes, netRuns, err = distExchangeRuns(j, &cfg, batches, nm, pool); err != nil {
+			discardSpills()
+			return nil, nil, err
 		}
 	}
 
@@ -733,6 +820,12 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			shufErrs = make([]error, cfg.NumReducers)
 		}
 		runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) {
+			if dist && !cfg.Dist.ownsReducer(r) {
+				// A remotely-owned reducer merges and reduces on its
+				// owner; its input, key count and outputs arrive through
+				// the reduce barrier.
+				return
+			}
 			if spilling {
 				// Materialize this reducer's spilled runs just before
 				// they are merged, one reducer at a time, so peak memory
@@ -764,6 +857,10 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 			}
 		}
 		for r := 0; r < cfg.NumReducers; r++ {
+			if dist && !cfg.Dist.ownsReducer(r) {
+				// Filled in by the reduce barrier from the owner's report.
+				continue
+			}
 			n := int64(len(rin[r].keys))
 			stats.PairsPerReducer[r] = n
 			stats.IntermediatePairs += n
@@ -922,6 +1019,17 @@ func (j *Job[I, K, V, O]) Run(input []I) ([]O, *Stats, error) {
 		redSpec += specRed[r]
 	}
 	stats.ReduceWall = time.Since(reduceStart)
+
+	if dist {
+		// Exchange stage 3, the reduce barrier: all-gather outputs and
+		// reduce accounting so every worker assembles the complete,
+		// bit-identical result and identical global Stats (including the
+		// ShuffleNetworkBytes/Runs totals of stage 2).
+		if err := distReduceBarrier(j, &cfg, stats, outputs, keyCounts, bytesPerReducer, redErrs, netBytes, netRuns); err != nil {
+			tr.End(reduceSpan)
+			return nil, nil, err
+		}
+	}
 
 	var out []O
 	for r := 0; r < cfg.NumReducers; r++ {

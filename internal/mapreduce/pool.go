@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"cmp"
 	"sync"
+	"unsafe"
 )
 
 // BufferPool recycles the engine's large scratch buffers across jobs
@@ -32,6 +33,10 @@ import (
 //     instantiation is dropped on the floor, so one pool safely serves
 //     heterogeneous job pipelines; the pool simply converges to the
 //     types that dominate.
+//   - A double-Put of the same buffer is dropped, not retained twice:
+//     each free list remembers the backing-array identity of what it
+//     holds, so two later Gets can never return aliasing slices whose
+//     appends would corrupt each other's recycled runs.
 //
 // The free lists are deliberately NOT sync.Pools: a paper-scale shuffle
 // allocates hundreds of megabytes per job, so the garbage collector
@@ -60,30 +65,54 @@ type BufferPool struct {
 const maxPoolItems = 2048
 
 // freeList is a bounded LIFO of boxed slices. Get returns nil when
-// empty; the caller type-asserts and falls back to allocation.
+// empty; the caller type-asserts and falls back to allocation. Each
+// entry carries the identity of its backing array so Put can reject a
+// buffer the list already holds (a double-Put would otherwise make two
+// later Gets alias the same memory).
 type freeList struct {
 	mu    sync.Mutex
-	items []any
+	items []poolEntry
+	held  map[uintptr]struct{} // backing arrays currently in items
+}
+
+type poolEntry struct {
+	id  uintptr
+	box any
 }
 
 func (f *freeList) Get() any {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if n := len(f.items); n > 0 {
-		it := f.items[n-1]
-		f.items[n-1] = nil
+		e := f.items[n-1]
+		f.items[n-1] = poolEntry{}
 		f.items = f.items[:n-1]
-		return it
+		delete(f.held, e.id)
+		return e.box
 	}
 	return nil
 }
 
-func (f *freeList) Put(it any) {
+func (f *freeList) Put(id uintptr, box any) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if len(f.items) < maxPoolItems {
-		f.items = append(f.items, it)
+	if _, dup := f.held[id]; dup {
+		return
 	}
+	if len(f.items) < maxPoolItems {
+		if f.held == nil {
+			f.held = make(map[uintptr]struct{})
+		}
+		f.held[id] = struct{}{}
+		f.items = append(f.items, poolEntry{id, box})
+	}
+}
+
+// bufID identifies a slice by the address of its backing array; callers
+// guarantee cap > 0, so the address is never nil and stays unique for
+// as long as the boxed slice keeps the array alive.
+func bufID[T any](s []T) uintptr {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(s)))
 }
 
 // NewBufferPool returns an empty pool.
@@ -117,7 +146,7 @@ func putPairs[K cmp.Ordered, V any](p *BufferPool, s []pair[K, V]) {
 		return
 	}
 	s = s[:0]
-	p.pairs.Put(&s)
+	p.pairs.Put(bufID(s), &s)
 }
 
 func getKeys[K cmp.Ordered](p *BufferPool, capacity int) []K {
@@ -134,7 +163,7 @@ func putKeys[K cmp.Ordered](p *BufferPool, s []K) {
 		return
 	}
 	s = s[:0]
-	p.keys.Put(&s)
+	p.keys.Put(bufID(s), &s)
 }
 
 func getVals[V any](p *BufferPool, capacity int) []V {
@@ -151,7 +180,7 @@ func putVals[V any](p *BufferPool, s []V) {
 		return
 	}
 	s = s[:0]
-	p.vals.Put(&s)
+	p.vals.Put(bufID(s), &s)
 }
 
 // getU64s returns a length-n scratch slice; contents are arbitrary.
@@ -169,7 +198,7 @@ func putU64s(p *BufferPool, s []uint64) {
 		return
 	}
 	s = s[:0]
-	p.u64s.Put(&s)
+	p.u64s.Put(bufID(s), &s)
 }
 
 // getU32sZero returns a length-n scratch slice with every element
@@ -190,7 +219,7 @@ func putU32s(p *BufferPool, s []uint32) {
 		return
 	}
 	s = s[:0]
-	p.u32s.Put(&s)
+	p.u32s.Put(bufID(s), &s)
 }
 
 func getInts(p *BufferPool, capacity int) []int {
@@ -207,7 +236,7 @@ func putInts(p *BufferPool, s []int) {
 		return
 	}
 	s = s[:0]
-	p.ints.Put(&s)
+	p.ints.Put(bufID(s), &s)
 }
 
 // recycleBatches returns a discarded attempt's run buffers to the pool

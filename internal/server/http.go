@@ -23,6 +23,7 @@ import (
 //	GET    /v1/relations      registered data → 200 [RelationInfo]
 //	GET    /v1/slowlog        slow-query log  → 200 [SlowlogEntry]
 //	GET    /v1/status         service status  → 200 ServiceStatus
+//	GET    /v1/workers        cluster roster  → 200 ClusterWorkers (404 without a cluster)
 //
 // plus the observability surface of metrics.NewServeMux (/metrics,
 // /debug/vars, /debug/pprof/*, /progress) when reg is non-nil; scraping
@@ -113,6 +114,14 @@ func NewHandler(s *Server, reg *metrics.Registry) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.StatusInfo())
+	})
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, _ *http.Request) {
+		cw := s.clusterWorkers()
+		if cw == nil {
+			writeError(w, http.StatusNotFound, "no_cluster", "this server runs the in-process engine; no cluster coordinator attached")
+			return
+		}
+		writeJSON(w, http.StatusOK, cw)
 	})
 	if reg != nil {
 		obs := metrics.NewServeMux(reg, nil)

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"mwsjoin/internal/cluster"
 	"mwsjoin/internal/metrics"
 	"mwsjoin/internal/profile"
 	"mwsjoin/internal/trace"
@@ -44,17 +45,51 @@ type SlowlogEntry struct {
 // ServiceStatus is the GET /v1/status payload: build/version identity
 // plus a coarse live snapshot for fleet debugging.
 type ServiceStatus struct {
-	Version            string          `json:"version"`
-	GoVersion          string          `json:"go_version"`
-	StartTime          string          `json:"start_time"`
-	UptimeSeconds      float64         `json:"uptime_seconds"`
-	Jobs               map[State]int64 `json:"jobs"`
-	QueueDepth         int64           `json:"queue_depth"`
-	Relations          int             `json:"relations"`
-	Workers            int             `json:"workers"`
-	Calibrate          bool            `json:"calibrate"`
+	Version       string          `json:"version"`
+	GoVersion     string          `json:"go_version"`
+	StartTime     string          `json:"start_time"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Jobs          map[State]int64 `json:"jobs"`
+	QueueDepth    int64           `json:"queue_depth"`
+	Relations     int             `json:"relations"`
+	// PoolWorkers is the in-process worker-pool size (Config.Workers).
+	PoolWorkers int  `json:"pool_workers"`
+	Calibrate   bool `json:"calibrate"`
+	// Workers describes the cluster roster when the server dispatches
+	// to a coordinator; absent on a single-process server.
+	Workers            *ClusterWorkers `json:"workers,omitempty"`
 	CalibrationEntries int             `json:"calibration_entries"`
 	SlowlogEntries     int             `json:"slowlog_entries"`
+}
+
+// ClusterWorkers is the status `workers` section: the coordinator's
+// roster with liveness and load at a glance.
+type ClusterWorkers struct {
+	Count    int                    `json:"count"`
+	Alive    int                    `json:"alive"`
+	Dead     int                    `json:"dead"`
+	InFlight int                    `json:"in_flight_tasks"`
+	Workers  []cluster.WorkerStatus `json:"workers"`
+}
+
+// clusterWorkers assembles the status section from the coordinator's
+// roster; nil without a cluster.
+func (s *Server) clusterWorkers() *ClusterWorkers {
+	coord := s.cfg.Cluster
+	if coord == nil {
+		return nil
+	}
+	cw := &ClusterWorkers{Workers: coord.Workers()}
+	cw.Count = len(cw.Workers)
+	for _, ws := range cw.Workers {
+		if ws.Alive {
+			cw.Alive++
+			cw.InFlight += ws.InFlight
+		} else {
+			cw.Dead++
+		}
+	}
+	return cw
 }
 
 // observeSLO records a finished (or cache-served) job into the SLO
@@ -195,7 +230,8 @@ func (s *Server) StatusInfo() ServiceStatus {
 		Jobs:               make(map[State]int64, len(s.stateCounts)),
 		QueueDepth:         s.stateCounts[StateQueued],
 		Relations:          len(s.rels),
-		Workers:            s.cfg.Workers,
+		PoolWorkers:        s.cfg.Workers,
+		Workers:            s.clusterWorkers(),
 		Calibrate:          s.cfg.Calibrate,
 		CalibrationEntries: entries,
 		SlowlogEntries:     len(s.slowlog),

@@ -138,8 +138,11 @@ func TestServerStatusInfo(t *testing.T) {
 	if info.UptimeSeconds < 0 || info.StartTime == "" {
 		t.Errorf("uptime %f, start %q", info.UptimeSeconds, info.StartTime)
 	}
-	if info.Relations != 4 || info.Workers != 3 {
-		t.Errorf("relations %d workers %d, want 4/3", info.Relations, info.Workers)
+	if info.Relations != 4 || info.PoolWorkers != 3 {
+		t.Errorf("relations %d pool workers %d, want 4/3", info.Relations, info.PoolWorkers)
+	}
+	if info.Workers != nil {
+		t.Errorf("cluster workers section on a single-process server: %+v", info.Workers)
 	}
 	if info.Jobs[StateDone] != 1 || info.SlowlogEntries != 1 {
 		t.Errorf("jobs %v slowlog %d", info.Jobs, info.SlowlogEntries)

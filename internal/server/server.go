@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mwsjoin/internal/cluster"
 	"mwsjoin/internal/dataset"
 	"mwsjoin/internal/grid"
 	"mwsjoin/internal/metrics"
@@ -117,6 +118,21 @@ type Config struct {
 	// results — only the predicted costs the scheduler orders and
 	// throttles by. Off by default; requires LedgerPath.
 	Calibrate bool
+	// Cluster, when non-nil, dispatches every job to the distributed
+	// coordinator/worker runtime instead of the in-process engine: the
+	// coordinator ships the query and relations to its registered
+	// workers, which execute the job chain in SPMD lockstep with a
+	// network shuffle. Results are bit-identical to in-process runs
+	// (the coordinator cross-checks a tuple hash over the roster), so
+	// the result cache stays valid across both paths. Cluster jobs
+	// carry no execution profile or trace (the spans live on the
+	// workers); GET /v1/jobs/{id}/profile returns 409 for them.
+	Cluster *cluster.Coordinator
+	// NumMappers is the per-job mapper count. Cluster dispatch needs it
+	// pinned (the engine's GOMAXPROCS default would differ across
+	// heterogeneous workers); it defaults to 8 when a Cluster is set
+	// and is otherwise passed through as-is (0 = engine default).
+	NumMappers int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Version == "" {
 		c.Version = "dev"
+	}
+	if c.Cluster != nil && c.NumMappers <= 0 {
+		c.NumMappers = 8
 	}
 	return c
 }
@@ -719,37 +738,60 @@ func (s *Server) nextJob() *Job {
 	}
 }
 
-// runJob executes one claimed job and finalises it.
+// runJob executes one claimed job and finalises it: on the in-process
+// engine by default, or on the cluster coordinator when one is
+// configured.
 func (s *Server) runJob(j *Job) {
-	cfg := spatial.Config{
-		Part:          j.part,
-		Parallelism:   s.cfg.Parallelism,
-		Columnar:      s.cfg.Columnar,
-		SpillBudget:   s.cfg.SpillBudget,
-		OptimizeOrder: j.optimizeOrder,
-		NoCombiner:    j.noCombiner,
-		Context:       j.ctx,
-		Tracer:        j.tracer,
-		Metrics:       s.reg,
-		OnChainStep: func(i int, name string) {
-			s.mu.Lock()
-			j.stepsDone = i
-			j.currentStep = name
-			gate := s.stepGate
-			s.mu.Unlock()
-			if gate != nil {
-				gate(j.id, i, name)
-			}
-		},
+	var res *spatial.Result
+	var err error
+	if coord := s.cfg.Cluster; coord != nil {
+		spec := cluster.SpecFromConfig(j.method, j.queryTxt, j.rels, spatial.Config{
+			Scheme:         s.cfg.Partition,
+			Reducers:       s.cfg.Reducers,
+			SplitThreshold: s.cfg.SplitThreshold,
+			NumMappers:     s.cfg.NumMappers,
+			Parallelism:    s.cfg.Parallelism,
+			OptimizeOrder:  j.optimizeOrder,
+			NoCombiner:     j.noCombiner,
+			Columnar:       s.cfg.Columnar,
+			SpillBudget:    s.cfg.SpillBudget,
+		})
+		var rr *cluster.RunResult
+		if rr, err = coord.Run(spec); err == nil {
+			res = &spatial.Result{Tuples: rr.Tuples, Stats: rr.Stats}
+		}
+	} else {
+		cfg := spatial.Config{
+			Part:          j.part,
+			Parallelism:   s.cfg.Parallelism,
+			Columnar:      s.cfg.Columnar,
+			SpillBudget:   s.cfg.SpillBudget,
+			OptimizeOrder: j.optimizeOrder,
+			NoCombiner:    j.noCombiner,
+			Context:       j.ctx,
+			Tracer:        j.tracer,
+			Metrics:       s.reg,
+			OnChainStep: func(i int, name string) {
+				s.mu.Lock()
+				j.stepsDone = i
+				j.currentStep = name
+				gate := s.stepGate
+				s.mu.Unlock()
+				if gate != nil {
+					gate(j.id, i, name)
+				}
+			},
+		}
+		res, err = spatial.Execute(j.method, j.q, j.rels, cfg)
 	}
-	res, err := spatial.Execute(j.method, j.q, j.rels, cfg)
 	finished := time.Now()
 
 	// Assemble the profile outside the mutex: queryTxt and the tracer
 	// are immutable after submission, and no other goroutine touches the
-	// tracer once Execute has returned.
+	// tracer once Execute has returned. Cluster jobs get none — their
+	// spans live on the workers — and take the ErrNoProfile path.
 	var prof *profile.Profile
-	if err == nil {
+	if err == nil && s.cfg.Cluster == nil {
 		prof = profile.Build(j.queryTxt, &res.Stats, j.tracer.Spans())
 	}
 

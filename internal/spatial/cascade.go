@@ -156,8 +156,10 @@ func cascade(pl *plan, exec *executor) (*Result, error) {
 					}
 					return 4 + itemRecordBytes
 				},
-				EncodePair: encodeCellCascade,
-				DecodePair: decodeCellCascade,
+				EncodePair:   encodeCellCascade,
+				DecodePair:   decodeCellCascade,
+				EncodeOutput: encodePartialOutput,
+				DecodeOutput: decodePartialOutput,
 			}
 			return job.Run(input)
 		}

@@ -39,11 +39,13 @@ func allReplicate(pl *plan, exec *executor) (*Result, error) {
 				exec.part.ForEachFourthQuadrant(it.Rect, func(c grid.CellID) { emit(c, it) })
 				return nil
 			},
-			Partition:  mapreduce.IdentityPartition[grid.CellID],
-			Reduce:     joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
-			PairBytes:  taggedPairBytes,
-			EncodePair: encodeCellTagged,
-			DecodePair: decodeCellTagged,
+			Partition:    mapreduce.IdentityPartition[grid.CellID],
+			Reduce:       joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
+			PairBytes:    taggedPairBytes,
+			EncodePair:   encodeCellTagged,
+			DecodePair:   decodeCellTagged,
+			EncodeOutput: encodeTupleOutput,
+			DecodeOutput: decodeTupleOutput,
 		}
 		out, st, err := job.Run(input)
 		tuples = out
@@ -155,9 +157,11 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 				}
 				return nil
 			},
-			PairBytes:  taggedPairBytes,
-			EncodePair: encodeCellTagged,
-			DecodePair: decodeCellTagged,
+			PairBytes:    taggedPairBytes,
+			EncodePair:   encodeCellTagged,
+			DecodePair:   decodeCellTagged,
+			EncodeOutput: encodeTaggedOutput,
+			DecodeOutput: decodeTaggedOutput,
 		}
 		out, st, err := round1.Run(input)
 		if err != nil {
@@ -207,11 +211,13 @@ func controlledReplicate(pl *plan, exec *executor, limit bool) (*Result, error) 
 				}
 				return nil
 			},
-			Partition:  mapreduce.IdentityPartition[grid.CellID],
-			Reduce:     joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
-			PairBytes:  taggedPairBytes,
-			EncodePair: encodeCellTagged,
-			DecodePair: decodeCellTagged,
+			Partition:    mapreduce.IdentityPartition[grid.CellID],
+			Reduce:       joinReduce(pl, exec.part, exec.cfg.CountOnly, &counted, exec.cfg.Metrics),
+			PairBytes:    taggedPairBytes,
+			EncodePair:   encodeCellTagged,
+			DecodePair:   decodeCellTagged,
+			EncodeOutput: encodeTupleOutput,
+			DecodeOutput: decodeTupleOutput,
 		}
 		out, st, err := round2.Run(staged)
 		tuples = out

@@ -150,6 +150,15 @@ type Config struct {
 	// overcounts (discarded attempts cannot untally); materialising
 	// runs are exact under fault injection.
 	CountOnly bool
+	// Dist, when non-nil with NumWorkers > 1, runs every map-reduce
+	// round in SPMD lockstep across a worker group: this process owns
+	// its share of mappers and reducers, ships runs destined for remote
+	// reducers through Dist.Exchanger, and gathers outputs so the final
+	// Result is bit-identical on every worker (see mapreduce.DistConfig).
+	// NumWorkers == 1 is the in-process engine, verbatim. Incompatible
+	// with CountOnly: distributed tallies are per-worker and would
+	// undercount.
+	Dist *mapreduce.DistConfig
 }
 
 // DefaultPartitioning builds the paper's experimental grid over the
@@ -241,6 +250,14 @@ func Execute(method Method, q *query.Query, rels []Relation, cfg Config) (*Resul
 	if ctx := cfg.Context; ctx != nil {
 		if cause := context.Cause(ctx); cause != nil {
 			return nil, fmt.Errorf("spatial: %v execution cancelled before start: %w", method, cause)
+		}
+	}
+	if cfg.Dist != nil && cfg.Dist.NumWorkers > 1 {
+		if cfg.CountOnly {
+			return nil, fmt.Errorf("spatial: CountOnly is incompatible with a %d-worker distributed run (per-worker tallies undercount)", cfg.Dist.NumWorkers)
+		}
+		if cfg.NumMappers <= 0 {
+			return nil, fmt.Errorf("spatial: a distributed run needs an explicit NumMappers (the GOMAXPROCS default differs across workers)")
 		}
 	}
 	pl, err := newPlan(q, rels, !cfg.AllowSelfPairs, cfg.UseRTree, cfg.RTreeSweepThreshold)
@@ -354,6 +371,7 @@ func (e *executor) jobConfig(name string) mapreduce.Config {
 		TraceParent: e.cur,
 		Metrics:     e.cfg.Metrics,
 		Pool:        e.pool,
+		Dist:        e.cfg.Dist,
 	}
 	if e.cfg.SpillBudget > 0 {
 		c.SpillBudget = e.cfg.SpillBudget

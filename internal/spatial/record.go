@@ -190,3 +190,52 @@ func decodePartial(buf []byte) (partial, error) {
 	}
 	return p, nil
 }
+
+// Output codecs: frame one job output record so a distributed run can
+// gather reducer outputs across workers (mapreduce.Job.EncodeOutput/
+// DecodeOutput). Each mirrors the value's spill/DFS layout.
+
+// encodeTupleOutput frames a result tuple: count(2) then 4 bytes per id.
+func encodeTupleOutput(t Tuple, buf []byte) []byte {
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(t.IDs)))
+	buf = append(buf, hdr[:]...)
+	for _, id := range t.IDs {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(id))
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+// decodeTupleOutput parses an encodeTupleOutput record.
+func decodeTupleOutput(rec []byte) (Tuple, error) {
+	if len(rec) < 2 {
+		return Tuple{}, fmt.Errorf("spatial: tuple record too short (%d bytes)", len(rec))
+	}
+	n := int(binary.LittleEndian.Uint16(rec))
+	if len(rec) != 2+4*n {
+		return Tuple{}, fmt.Errorf("spatial: tuple record has %d bytes, want %d for %d ids", len(rec), 2+4*n, n)
+	}
+	t := Tuple{IDs: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		t.IDs[i] = int32(binary.LittleEndian.Uint32(rec[2+4*i:]))
+	}
+	return t, nil
+}
+
+// encodeTaggedOutput frames a tagged item output (c-rep round 1).
+func encodeTaggedOutput(t tagged, buf []byte) []byte {
+	return append(buf, encodeItem(t)...)
+}
+
+// decodeTaggedOutput parses an encodeTaggedOutput record.
+func decodeTaggedOutput(rec []byte) (tagged, error) { return decodeItem(rec) }
+
+// encodePartialOutput frames a partial-tuple output (cascade steps).
+func encodePartialOutput(p partial, buf []byte) []byte {
+	return append(buf, encodePartial(p)...)
+}
+
+// decodePartialOutput parses an encodePartialOutput record.
+func decodePartialOutput(rec []byte) (partial, error) { return decodePartial(rec) }

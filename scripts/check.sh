@@ -112,6 +112,30 @@ echo "== unit-200,000 smoke (10x table scale through the memory path; timeout-gu
 # timeout keeps a pathological regression from hanging CI.
 MWSJ_BENCH_UNIT=200000 go test -count=1 -timeout 300s -run 'TestBenchPR8Anchor' .
 
+echo "== distributed runtime under -race (SPMD equivalence, network shuffle, recovery) =="
+# The DESIGN.md §4i gate: engine- and spatial-level SPMD bit-identity
+# (W ∈ {1,3}, all four methods, spill/no-combiner axes, exact DFS
+# reconciliation with network bytes in their own Stats family), the
+# cluster package over real loopback TCP (mesh shuffle, heartbeat
+# death detection, checkpoint sync + re-execution, roster hash
+# cross-check), the server dispatch path, and the BufferPool misuse
+# battery; -count=1 defeats the cache so the race detector
+# re-exercises the exchange/rendezvous goroutines every run.
+go test -race -count=1 -run 'TestDist|TestPoolDoublePut|TestPoolCrossJobReuse' ./internal/mapreduce
+go test -race -count=1 -run 'TestDistributed' ./internal/spatial
+go test -race -count=1 ./internal/cluster
+go test -race -count=1 -run 'TestServerClusterDispatch' ./internal/server
+
+echo "== cluster e2e under -race (daemon coordinator + 3 real worker processes, SIGKILL mid-round) =="
+# Boots mwsjoind -cluster-listen plus three mwsjworker OS processes on
+# loopback, submits the cascade join over HTTP, and one worker
+# SIGKILLs itself before its 4th shuffle exchange (mid round 2): the
+# coordinator must detect the death, sync checkpoints onto the two
+# survivors, re-execute the interrupted round, and serve tuples
+# bit-identical to the in-process engine.
+go test -race -count=1 -run 'TestDaemonClusterEndToEnd' ./cmd/mwsjoind
+go test -race -count=1 -run 'TestBenchPR10Anchor' .
+
 echo "== fuzz (FuzzParseQuery, 5s) =="
 go test -run='^$' -fuzz=FuzzParseQuery -fuzztime=5s ./internal/query
 
